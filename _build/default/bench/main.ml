@@ -1,0 +1,605 @@
+(* Benchmark harness reproducing the paper's evaluation.
+
+   Usage:
+     bench/main.exe                 -- run every reproduction experiment
+     bench/main.exe table1          -- Table 1 (the paper's only table)
+     bench/main.exe fig_bandwidth   -- §5 claim: low bandwidth degrades MII
+     bench/main.exe fig_scaling     -- §7 claim: flat ICA vs HCA state space
+     bench/main.exe fig_rcp         -- Fig. 1: feasible topology on the RCP ring
+     bench/main.exe fig_mapper      -- Fig. 9: broadcast merge + copy balancing
+     bench/main.exe baselines       -- HCA vs unified / random / Chu partitioning
+     bench/main.exe sched           -- modulo scheduling on top of HCA (future work)
+     bench/main.exe ablation        -- design-choice ablations (DESIGN.md §6)
+     bench/main.exe bechamel        -- wall-clock micro benchmarks (Bechamel)
+
+   Absolute numbers are NOT expected to match the paper (the substrate
+   is a reconstruction); the shapes — who is legal, who degrades, where
+   the bounds sit — are the reproduction target. *)
+
+open Hca_ddg
+open Hca_machine
+open Hca_core
+
+let reference = Dspfabric.reference
+
+let heading title = Printf.printf "\n=== %s ===\n%!" title
+
+let left h = (h, Hca_util.Tabular.Left)
+
+let right h = (h, Hca_util.Tabular.Right)
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: HCA test on four multimedia application loops.             *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  heading "Table 1: HCA on four multimedia loops (N=M=K=8, 64 CNs)";
+  let t =
+    Hca_util.Tabular.create
+      [
+        left "Loop"; right "N_Instr"; right "MIIRec"; right "MIIRes";
+        left "Legal"; right "Final MII"; right "Portfolio"; right "Optimum";
+        right "Paper final";
+      ]
+  in
+  let paper_final = [ 3; 3; 8; 6 ] in
+  List.iter2
+    (fun (name, f) paper ->
+      let ddg = f () in
+      let r = Report.run reference ddg in
+      let best, _ = Portfolio.run reference ddg in
+      let optimum = Hca_baseline.Unified.mii ddg reference in
+      Hca_util.Tabular.add_row t
+        [
+          name;
+          string_of_int r.Report.n_instr;
+          string_of_int r.Report.mii_rec;
+          string_of_int r.Report.mii_res;
+          (if r.Report.legal then "yes" else "no");
+          (match r.Report.final_mii with Some m -> string_of_int m | None -> "-");
+          (match best.Report.final_mii with
+          | Some m when best.Report.legal -> string_of_int m
+          | _ -> "-");
+          string_of_int optimum;
+          string_of_int paper;
+        ])
+    Hca_kernels.Registry.all paper_final;
+  Hca_util.Tabular.print t
+
+(* ------------------------------------------------------------------ *)
+(* §5 bandwidth claim: sweep the MUX capacities.                       *)
+(* ------------------------------------------------------------------ *)
+
+let fig_bandwidth () =
+  heading
+    "Bandwidth sweep (§5): final MII as N=M=K shrinks ('-' = no legal \
+     clusterization)";
+  let widths = [ 16; 8; 4; 2; 1 ] in
+  let t =
+    Hca_util.Tabular.create
+      (left "Loop" :: List.map (fun w -> right (Printf.sprintf "N=M=K=%d" w)) widths)
+  in
+  List.iter
+    (fun (name, f) ->
+      let cells =
+        List.map
+          (fun w ->
+            let fabric = Dspfabric.make ~n:w ~m:w ~k:w () in
+            let r = Report.run fabric (f ()) in
+            match (r.Report.legal, r.Report.final_mii) with
+            | true, Some m -> string_of_int m
+            | _ -> "-")
+          widths
+      in
+      Hca_util.Tabular.add_row t (name :: cells))
+    Hca_kernels.Registry.all;
+  Hca_util.Tabular.print t;
+  Printf.printf
+    "Expected shape: MII grows (or clusterization fails) as the wires thin \
+     out.\n"
+
+(* ------------------------------------------------------------------ *)
+(* §7 scaling claim: flat ICA explodes, HCA cuts the state space.      *)
+(* ------------------------------------------------------------------ *)
+
+let fig_scaling () =
+  heading "State-space scaling (§7): HCA vs flat K64 ICA";
+  let t =
+    Hca_util.Tabular.create
+      [
+        left "Loop"; right "HCA states"; right "HCA time(s)";
+        right "Flat states"; right "Flat time(s)"; right "Flat MUX violations";
+      ]
+  in
+  List.iter
+    (fun (name, f) ->
+      let ddg = f () in
+      let hca = Report.run reference ddg in
+      let flat = Hca_baseline.Flat_ica.run reference ddg in
+      let violations =
+        match flat.Hca_baseline.Flat_ica.outcome with
+        | Some o ->
+            string_of_int (Hca_baseline.Flat_ica.hierarchy_violations reference o)
+        | None -> "failed"
+      in
+      Hca_util.Tabular.add_row t
+        [
+          name;
+          string_of_int hca.Report.explored_states;
+          Printf.sprintf "%.3f" hca.Report.runtime_s;
+          string_of_int flat.Hca_baseline.Flat_ica.explored;
+          Printf.sprintf "%.3f" flat.Hca_baseline.Flat_ica.runtime_s;
+          violations;
+        ])
+    Hca_kernels.Registry.all;
+  Hca_util.Tabular.print t;
+  Printf.printf
+    "The flat view is also optimistic: its MUX-violation count shows how \
+     often\nthe 'legal' flat result could not actually be configured on the \
+     fabric.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 1: the RCP ring picks a feasible topology under K ports.        *)
+(* ------------------------------------------------------------------ *)
+
+let fig_rcp () =
+  heading "RCP ring (Fig. 1): single-level assignment under the input-port limit";
+  let t =
+    Hca_util.Tabular.create
+      [
+        left "Kernel"; right "ports"; left "Feasible"; right "II used";
+        right "copies"; right "max in-degree";
+      ]
+  in
+  let kernels =
+    [ ("fir2dim", Hca_kernels.Fir2dim.ddg); ("idcthor", Hca_kernels.Idcthor.ddg) ]
+  in
+  List.iter
+    (fun (name, f) ->
+      List.iter
+        (fun ports ->
+          let rcp = Rcp.make ~in_ports:ports () in
+          let pg = Rcp.pattern_graph rcp in
+          let ddg = f () in
+          let problem = Problem.of_ddg ~name:(name ^ ".rcp") ~ddg ~pg () in
+          let rec climb ii =
+            if ii > 64 then None
+            else
+              match See.solve problem ~ii with
+              | Ok o -> Some (ii, o)
+              | Error _ -> climb (ii + 1)
+          in
+          match climb (Mii.rec_mii ddg) with
+          | None ->
+              Hca_util.Tabular.add_row t
+                [ name; string_of_int ports; "no"; "-"; "-"; "-" ]
+          | Some (ii, o) ->
+              let flow = State.flow o.See.state in
+              let max_in =
+                List.fold_left
+                  (fun acc (nd : Pattern_graph.node) ->
+                    max acc
+                      (List.length (Copy_flow.real_in_neighbors flow nd.id)))
+                  0
+                  (Pattern_graph.regular_nodes pg)
+              in
+              Hca_util.Tabular.add_row t
+                [
+                  name;
+                  string_of_int ports;
+                  "yes";
+                  string_of_int ii;
+                  string_of_int (Copy_flow.copy_count flow);
+                  string_of_int max_in;
+                ])
+        [ 4; 2; 1 ])
+    kernels;
+  Hca_util.Tabular.print t;
+  Printf.printf
+    "The selected topology never uses more in-neighbours than the port \
+     budget.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 9: broadcast merging and copy balancing in the Mapper.          *)
+(* ------------------------------------------------------------------ *)
+
+let fig_mapper () =
+  heading
+    "Mapper policy (Fig. 9): broadcasts share one wire, spread mode balances \
+     the rest";
+  (* Rebuild the paper's worked example: cluster 0 produces x (broadcast
+     to 1 and 2), z (broadcast to 2 and 3) and a, b, c all flowing to 1. *)
+  let b = Ddg.Builder.create ~name:"fig9" () in
+  let x = Ddg.Builder.add_instr b ~name:"x" Opcode.Add in
+  let z = Ddg.Builder.add_instr b ~name:"z" Opcode.Add in
+  let a = Ddg.Builder.add_instr b ~name:"a" Opcode.Add in
+  let b' = Ddg.Builder.add_instr b ~name:"b" Opcode.Add in
+  let c = Ddg.Builder.add_instr b ~name:"c" Opcode.Add in
+  let consumer src =
+    let u = Ddg.Builder.add_instr b Opcode.Mov in
+    Ddg.Builder.add_dep b ~src ~dst:u;
+    u
+  in
+  let ux1 = consumer x and ux2 = consumer x in
+  let uz1 = consumer z and uz2 = consumer z in
+  let ua = consumer a and ub = consumer b' and uc = consumer c in
+  let ddg = Ddg.Builder.freeze b in
+  let pg =
+    Pattern_graph.complete ~name:"fig9"
+      ~capacities:(Array.make 4 { Resource.alus = 8; ags = 8 })
+      ~max_in:4
+  in
+  let problem = Problem.of_ddg ~name:"fig9" ~ddg ~pg () in
+  let w = Cost.default_weights in
+  let place node cluster st =
+    Result.get_ok
+      (State.try_assign st ~node ~cluster ~ii:8 ~target_ii:8 ~weights:w)
+  in
+  let st =
+    State.create problem
+    |> place x 0 |> place z 0 |> place a 0 |> place b' 0 |> place c 0
+    |> place ux1 1 |> place ux2 2 |> place uz1 2 |> place uz2 3 |> place ua 1
+    |> place ub 1 |> place uc 1
+  in
+  match
+    Mapper.map ~consolidate:false ~problem ~state:st ~in_capacity:4
+      ~out_capacity:4 ()
+  with
+  | Error e -> Printf.printf "mapper failed: %s\n" e
+  | Ok res ->
+      let model = res.Mapper.model in
+      List.iter
+        (fun wire ->
+          Printf.printf "  wire %d of cluster 0 -> clusters [%s] carrying [%s]\n"
+            wire
+            (String.concat ","
+               (List.map string_of_int (Machine_model.wire_sinks model wire)))
+            (String.concat ","
+               (List.map
+                  (fun v -> (Ddg.instr ddg v).Instr.name)
+                  (Machine_model.wire_values model wire))))
+        (Machine_model.used_out_wires model 0);
+      Printf.printf "  max wire load: %d\n" res.Mapper.max_wire_load
+
+(* ------------------------------------------------------------------ *)
+(* Baselines: HCA vs unified optimum vs random floor vs Chu partition. *)
+(* ------------------------------------------------------------------ *)
+
+let baselines () =
+  heading "Baselines: projected/achieved MII and copies";
+  let t =
+    Hca_util.Tabular.create
+      [
+        left "Loop"; right "Unified opt"; right "HCA final"; right "HCA copies";
+        right "Chu proj."; right "Chu copies"; right "Chu viol.";
+        right "Random proj."; right "Random copies";
+      ]
+  in
+  List.iter
+    (fun (name, f) ->
+      let ddg = f () in
+      let opt = Hca_baseline.Unified.mii ddg reference in
+      let hca = Report.run reference ddg in
+      let ii = max 4 hca.Report.ii_used in
+      let chu = Hca_baseline.Chu_partition.run reference ddg ~ii in
+      let rand = Hca_baseline.Random_assign.run reference ddg ~ii in
+      let cell = function Some s -> s | None -> "-" in
+      Hca_util.Tabular.add_row t
+        [
+          name;
+          string_of_int opt;
+          cell (Option.map string_of_int hca.Report.final_mii);
+          string_of_int hca.Report.copies;
+          cell
+            (Result.to_option chu
+            |> Option.map (fun c ->
+                   string_of_int c.Hca_baseline.Chu_partition.projected_mii));
+          cell
+            (Result.to_option chu
+            |> Option.map (fun c ->
+                   string_of_int c.Hca_baseline.Chu_partition.copies));
+          cell
+            (Result.to_option chu
+            |> Option.map (fun c ->
+                   string_of_int c.Hca_baseline.Chu_partition.violations));
+          cell
+            (Result.to_option rand
+            |> Option.map (fun r ->
+                   string_of_int r.Hca_baseline.Random_assign.projected_mii));
+          cell
+            (Result.to_option rand
+            |> Option.map (fun r ->
+                   string_of_int r.Hca_baseline.Random_assign.copies));
+        ])
+    Hca_kernels.Registry.all;
+  Hca_util.Tabular.print t
+
+(* ------------------------------------------------------------------ *)
+(* Modulo scheduling on top of HCA: the paper's future work, validated. *)
+(* ------------------------------------------------------------------ *)
+
+let sched () =
+  heading "Kernel-only modulo scheduling on the HCA placement (paper future work)";
+  let t =
+    Hca_util.Tabular.create
+      [
+        left "Loop"; right "final MII"; right "achieved II"; right "stages";
+        right "occupancy"; right "max live"; right "speedup@100";
+      ]
+  in
+  List.iter
+    (fun (name, f) ->
+      let ddg = f () in
+      let r = Report.run reference ddg in
+      match (r.Report.result, r.Report.final_mii) with
+      | Some res, Some final -> (
+          (* Schedule the expanded DDG: receives and forwards are real
+             instructions with their transport latency on the edges. *)
+          let exp = Postprocess.expand res in
+          let params =
+            { Hca_sched.Modulo.default_params with copy_latency = 0 }
+          in
+          match
+            Hca_sched.Modulo.run ~params ~ddg:exp.Postprocess.ddg
+              ~cn_of_instr:exp.Postprocess.cn_of_node
+              ~cns:(Dspfabric.total_cns reference)
+              ~dma_ports:(Dspfabric.dma_ports reference) ~start_ii:final ()
+          with
+          | Error e ->
+              Hca_util.Tabular.add_row t
+                [ name; string_of_int final; e; "-"; "-"; "-"; "-" ]
+          | Ok s ->
+              let koms = Hca_sched.Koms.analyse s in
+              let rp =
+                Hca_sched.Regpress.analyse ~ddg:exp.Postprocess.ddg
+                  ~cn_of_instr:exp.Postprocess.cn_of_node ~copy_latency:0 s
+              in
+              let sl = Graph_algo.critical_path ddg + 1 in
+              Hca_util.Tabular.add_row t
+                [
+                  name;
+                  string_of_int final;
+                  string_of_int s.Hca_sched.Modulo.ii;
+                  string_of_int s.Hca_sched.Modulo.stages;
+                  Printf.sprintf "%.2f" s.Hca_sched.Modulo.occupancy;
+                  string_of_int rp.Hca_sched.Regpress.max_live;
+                  Printf.sprintf "%.1fx"
+                    (Hca_sched.Koms.speedup_vs_unpipelined koms ~trip:100
+                       ~schedule_length:sl);
+                ])
+      | _ -> Hca_util.Tabular.add_row t [ name; "-"; "-"; "-"; "-"; "-"; "-" ])
+    Hca_kernels.Registry.all;
+  Hca_util.Tabular.print t
+
+(* ------------------------------------------------------------------ *)
+(* Ablations over the design choices listed in DESIGN.md §6.            *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  heading "Ablations: final MII under degraded configurations (fir2dim / idcthor)";
+  let variants =
+    [
+      ("default", Config.default);
+      ("greedy (beam 1)", { Config.default with beam_width = 1; candidate_width = 1 });
+      ("beam 16", { Config.default with beam_width = 16 });
+      ("no router", { Config.default with enable_router = false });
+      ("criticality order", { Config.default with priority = Config.Criticality });
+      ("source order", { Config.default with priority = Config.Source_order });
+      ("spread wires", { Config.default with mapper_spread = true });
+      ("no backtracking", { Config.default with max_alternatives = 1 });
+    ]
+  in
+  let kernels =
+    [ ("fir2dim", Hca_kernels.Fir2dim.ddg); ("idcthor", Hca_kernels.Idcthor.ddg) ]
+  in
+  let t =
+    Hca_util.Tabular.create
+      (left "Variant"
+      :: List.concat_map
+           (fun (n, _) -> [ right (n ^ " MII"); right "legal" ])
+           kernels)
+  in
+  List.iter
+    (fun (vname, config) ->
+      let cells =
+        List.concat_map
+          (fun (_, f) ->
+            let r = Report.run ~config reference (f ()) in
+            [
+              (match r.Report.final_mii with Some m -> string_of_int m | None -> "-");
+              (if r.Report.legal then "yes" else "no");
+            ])
+          kernels
+      in
+      Hca_util.Tabular.add_row t (vname :: cells))
+    variants;
+  Hca_util.Tabular.print t
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro benchmarks.                                          *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel () =
+  heading "Bechamel timing (one Test.make per experiment family)";
+  let open Bechamel in
+  let open Toolkit in
+  let hca_test name f =
+    Test.make ~name (Staged.stage (fun () -> ignore (Report.run reference (f ()))))
+  in
+  let tests =
+    [
+      hca_test "table1/fir2dim" Hca_kernels.Fir2dim.ddg;
+      hca_test "table1/idcthor" Hca_kernels.Idcthor.ddg;
+      hca_test "table1/mpeg2inter" Hca_kernels.Mpeg2inter.ddg;
+      hca_test "table1/h264deblocking" Hca_kernels.H264deblock.ddg;
+      Test.make ~name:"fig_bandwidth/fir2dim-narrow"
+        (Staged.stage (fun () ->
+             ignore
+               (Report.run
+                  (Dspfabric.make ~n:2 ~m:2 ~k:2 ())
+                  (Hca_kernels.Fir2dim.ddg ()))));
+      Test.make ~name:"fig_scaling/flat-fir2dim"
+        (Staged.stage (fun () ->
+             ignore
+               (Hca_baseline.Flat_ica.run reference (Hca_kernels.Fir2dim.ddg ()))));
+      Test.make ~name:"mii/rec-h264"
+        (Staged.stage
+           (let g = Hca_kernels.H264deblock.ddg () in
+            fun () -> ignore (Mii.rec_mii g)));
+      Test.make ~name:"sched/modulo-fir2dim"
+        (Staged.stage
+           (let ddg = Hca_kernels.Fir2dim.ddg () in
+            let r = Report.run reference ddg in
+            let res = Option.get r.Report.result in
+            fun () ->
+              ignore
+                (Hca_sched.Modulo.run ~ddg
+                   ~cn_of_instr:res.Hierarchy.cn_of_instr ~cns:64 ~dma_ports:8
+                   ~start_ii:(Option.get r.Report.final_mii) ())));
+    ]
+  in
+  let benchmark test =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+    in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Instance.monotonic_clock results
+  in
+  List.iter
+    (fun test ->
+      let results = analyze (benchmark test) in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "  %-36s %12.0f ns/run\n%!" name est
+          | _ -> Printf.printf "  %-36s (no estimate)\n%!" name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* Semantic equivalence: simulate the compiled kernel.                  *)
+(* ------------------------------------------------------------------ *)
+
+let simulate () =
+  heading
+    "Machine simulation: the clusterised + scheduled kernel computes the \
+     reference values";
+  let t =
+    Hca_util.Tabular.create
+      [
+        left "Loop"; left "Trace match"; right "II"; right "stages in flight";
+        right "cycles (8 iters)"; right "dyn. instrs";
+      ]
+  in
+  List.iter
+    (fun (name, f) ->
+      let ddg = f () in
+      let r = Report.run reference ddg in
+      match (r.Report.result, r.Report.final_mii) with
+      | Some res, Some final -> (
+          let exp = Postprocess.expand res in
+          let params =
+            { Hca_sched.Modulo.default_params with copy_latency = 0 }
+          in
+          match
+            Hca_sched.Modulo.run ~params ~ddg:exp.Postprocess.ddg
+              ~cn_of_instr:exp.Postprocess.cn_of_node
+              ~cns:(Dspfabric.total_cns reference)
+              ~dma_ports:(Dspfabric.dma_ports reference) ~start_ii:final ()
+          with
+          | Error e ->
+              Hca_util.Tabular.add_row t [ name; e; "-"; "-"; "-"; "-" ]
+          | Ok schedule -> (
+              match
+                Hca_sim.Machine_sim.check_against_reference ~iterations:8
+                  ~original:ddg ~expanded:exp.Postprocess.ddg
+                  ~cn_of_node:exp.Postprocess.cn_of_node ~schedule ()
+              with
+              | Error e ->
+                  Hca_util.Tabular.add_row t
+                    [ name; "DIVERGED: " ^ e; "-"; "-"; "-"; "-" ]
+              | Ok stats ->
+                  Hca_util.Tabular.add_row t
+                    [
+                      name;
+                      "yes";
+                      string_of_int schedule.Hca_sched.Modulo.ii;
+                      string_of_int stats.Hca_sim.Machine_sim.max_inflight;
+                      string_of_int stats.Hca_sim.Machine_sim.cycles;
+                      string_of_int stats.Hca_sim.Machine_sim.issued;
+                    ]))
+      | _ -> Hca_util.Tabular.add_row t [ name; "no clusterisation"; "-"; "-"; "-"; "-" ])
+    Hca_kernels.Registry.all;
+  Hca_util.Tabular.print t
+
+(* ------------------------------------------------------------------ *)
+(* Extended workloads: loop shapes beyond Table 1.                      *)
+(* ------------------------------------------------------------------ *)
+
+let extended () =
+  heading "Extended kernels: loop shapes beyond Table 1";
+  let t =
+    Hca_util.Tabular.create
+      [
+        left "Kernel"; right "N_Instr"; right "ini MII"; left "Legal";
+        right "Final MII"; right "copies"; right "wires";
+      ]
+  in
+  List.iter
+    (fun (name, f) ->
+      let ddg = f () in
+      let r = Report.run reference ddg in
+      let wires =
+        match r.Report.result with
+        | Some res -> string_of_int (Topology.wire_count (Topology.of_result res))
+        | None -> "-"
+      in
+      Hca_util.Tabular.add_row t
+        [
+          name;
+          string_of_int r.Report.n_instr;
+          string_of_int r.Report.ini_mii;
+          (if r.Report.legal then "yes" else "no");
+          (match r.Report.final_mii with Some m -> string_of_int m | None -> "-");
+          string_of_int r.Report.copies;
+          wires;
+        ])
+    Hca_kernels.Extended.all;
+  Hca_util.Tabular.print t
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("table1", table1);
+    ("fig_bandwidth", fig_bandwidth);
+    ("fig_scaling", fig_scaling);
+    ("fig_rcp", fig_rcp);
+    ("fig_mapper", fig_mapper);
+    ("baselines", baselines);
+    ("extended", extended);
+    ("sched", sched);
+    ("simulate", simulate);
+    ("ablation", ablation);
+    ("bechamel", bechamel);
+  ]
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: (_ :: _ as names) ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name experiments with
+          | Some f -> f ()
+          | None ->
+              Printf.eprintf "unknown experiment %S; available: %s\n" name
+                (String.concat ", " (List.map fst experiments));
+              exit 1)
+        names
+  | _ -> List.iter (fun (_, f) -> f ()) experiments

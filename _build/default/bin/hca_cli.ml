@@ -1,0 +1,401 @@
+(* hca: command-line front-end to the HCA reproduction.
+
+   Subcommands:
+     stats  <kernel>   static DDG statistics and MII bounds
+     run    <kernel>   full HCA pass on a DSPFabric instance
+     table1            reproduce Table 1 of the paper
+     dot    <kernel>   DOT dump (optionally clustered by assignment)
+     list              available kernels *)
+
+open Cmdliner
+open Hca_ddg
+open Hca_machine
+open Hca_core
+open Hca_kernels
+
+let kernel_conv =
+  let parse s =
+    match Registry.find s with
+    | Some f -> Ok (s, f)
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown kernel %S (try: %s)" s
+               (String.concat ", " Registry.names)))
+  in
+  let print ppf (name, _) = Format.pp_print_string ppf name in
+  Arg.conv (parse, print)
+
+let kernel_arg =
+  Arg.(
+    required
+    & pos 0 (some kernel_conv) None
+    & info [] ~docv:"KERNEL" ~doc:"Kernel name (see $(b,hca list)).")
+
+let fabric_term =
+  let n =
+    Arg.(value & opt int 8 & info [ "n" ] ~docv:"N" ~doc:"Level-0 MUX capacity.")
+  in
+  let m =
+    Arg.(value & opt int 8 & info [ "m" ] ~docv:"M" ~doc:"Level-1 MUX capacity.")
+  in
+  let k =
+    Arg.(
+      value & opt int 8 & info [ "k" ] ~docv:"K" ~doc:"Leaf crossbar capacity.")
+  in
+  let make n m k = Dspfabric.make ~n ~m ~k () in
+  Term.(const make $ n $ m $ k)
+
+let config_term =
+  let beam =
+    Arg.(
+      value & opt int Config.default.Config.beam_width
+      & info [ "beam" ] ~docv:"W" ~doc:"SEE beam width.")
+  in
+  let cand =
+    Arg.(
+      value
+      & opt int Config.default.Config.candidate_width
+      & info [ "candidates" ] ~docv:"C" ~doc:"Candidate-filter width.")
+  in
+  let spread =
+    Arg.(
+      value & flag
+      & info [ "spread" ] ~doc:"Spread copies over all wires (Fig. 9 policy).")
+  in
+  let fanin_cap =
+    Arg.(
+      value
+      & opt int Config.default.Config.leaf_feed_fanin_cap
+      & info [ "fanin-cap" ] ~docv:"F"
+          ~doc:"In-neighbour cap at the leaf-feeding level.")
+  in
+  let make beam_width candidate_width mapper_spread leaf_feed_fanin_cap =
+    {
+      Config.default with
+      beam_width;
+      candidate_width;
+      mapper_spread;
+      leaf_feed_fanin_cap;
+    }
+  in
+  Term.(const make $ beam $ cand $ spread $ fanin_cap)
+
+let resources_of fabric = Dspfabric.resources fabric
+
+let stats_cmd =
+  let run (name, f) fabric =
+    let ddg = f () in
+    let r = resources_of fabric in
+    Format.printf "kernel %s@." name;
+    Format.printf "  instructions : %d@." (Ddg.size ddg);
+    Format.printf "  edges        : %d@." (Array.length (Ddg.edges ddg));
+    Format.printf "  memory ops   : %d@." (Ddg.memory_ops ddg);
+    Format.printf "  MIIRec       : %d@." (Mii.rec_mii ddg);
+    Format.printf "  MIIRes       : %d (on %s)@." (Mii.res_mii ddg r)
+      (Dspfabric.name fabric);
+    Format.printf "  critical path: %d@." (Graph_algo.critical_path ddg)
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Static DDG statistics and MII bounds")
+    Term.(const run $ kernel_arg $ fabric_term)
+
+let run_cmd =
+  let run (name, f) fabric config ii =
+    ignore name;
+    match ii with
+    | None ->
+        let report = Report.run ~config fabric (f ()) in
+        Format.printf "%a@." Report.pp report
+    | Some ii -> (
+        (* Debug mode: a single HCA pass at a fixed II. *)
+        let ddg = f () in
+        let target_ii = Mii.mii ddg (Dspfabric.resources fabric) in
+        match Hierarchy.solve ~config ~target_ii fabric ddg ~ii with
+        | Error e -> Format.printf "II=%d failed: %s@." ii e
+        | Ok res ->
+            let m = Metrics.of_result res in
+            let legal = Coherency.is_legal res in
+            Format.printf "II=%d: %a legal=%b@." ii Metrics.pp m legal)
+  in
+  let ii_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "ii" ] ~docv:"II" ~doc:"Single fixed II (debug).")
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run HCA on one kernel")
+    Term.(const run $ kernel_arg $ fabric_term $ config_term $ ii_arg)
+
+let table1_cmd =
+  let run fabric config =
+    let table =
+      Hca_util.Tabular.create
+        (List.map (fun h -> (h, Hca_util.Tabular.Left)) Report.header)
+    in
+    List.iter
+      (fun (_, f) ->
+        let report = Report.run ~config fabric (f ()) in
+        Hca_util.Tabular.add_row table (Report.row report))
+      Registry.all;
+    Hca_util.Tabular.print table
+  in
+  Cmd.v (Cmd.info "table1" ~doc:"Reproduce Table 1 of the paper")
+    Term.(const run $ fabric_term $ config_term)
+
+let dot_cmd =
+  let run (name, f) fabric assigned =
+    ignore name;
+    let ddg = f () in
+    if not assigned then print_string (Ddg_io.to_dot ddg)
+    else
+      let report = Report.run fabric ddg in
+      match report.Report.result with
+      | None -> prerr_endline "clusterisation failed; dumping flat DDG";
+               print_string (Ddg_io.to_dot ddg)
+      | Some res ->
+          let cluster_of i =
+            Some (Printf.sprintf "CN %d" res.Hierarchy.cn_of_instr.(i))
+          in
+          print_string (Ddg_io.to_dot ~cluster_of ddg)
+  in
+  let assigned =
+    Arg.(
+      value & flag
+      & info [ "assigned" ] ~doc:"Group nodes by their assigned CN.")
+  in
+  Cmd.v (Cmd.info "dot" ~doc:"Dump the kernel DDG as Graphviz DOT")
+    Term.(const run $ kernel_arg $ fabric_term $ assigned)
+
+let explain_cmd =
+  let run (name, f) fabric config ii =
+    ignore name;
+    let ddg = f () in
+    let ii =
+      match ii with
+      | Some ii -> ii
+      | None -> Mii.mii ddg (Dspfabric.resources fabric)
+    in
+    match Hierarchy.solve ~config fabric ddg ~ii with
+    | Error e -> Format.printf "II=%d failed: %s@." ii e
+    | Ok res ->
+        Format.printf "II=%d solved; per-subproblem breakdown:@." ii;
+        List.iter
+          (fun (sub : Hierarchy.subresult) ->
+            let flow = State.flow sub.Hierarchy.state in
+            let pg = Problem.pg sub.Hierarchy.problem in
+            let regs = Hca_machine.Pattern_graph.regular_nodes pg in
+            let loads =
+              List.map
+                (fun (nd : Hca_machine.Pattern_graph.node) ->
+                  List.length
+                    (State.cluster_nodes sub.Hierarchy.state nd.id))
+                regs
+            in
+            Format.printf
+              "  [%s] ws=%s copies=%d in-ports=%d out-ports=%d wire<=%d@."
+              (String.concat "," (List.map string_of_int sub.Hierarchy.path))
+              (String.concat "/" (List.map string_of_int loads))
+              (Hca_machine.Copy_flow.copy_count flow)
+              (List.length (Hca_machine.Pattern_graph.in_ports pg))
+              (List.length (Hca_machine.Pattern_graph.out_ports pg))
+              sub.Hierarchy.mapres.Mapper.max_wire_load)
+          (Hierarchy.subresults res);
+        let m = Metrics.of_result res in
+        Format.printf "%a legal=%b@." Metrics.pp m (Coherency.is_legal res)
+  in
+  let ii_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "ii" ] ~docv:"II" ~doc:"Fixed II (default: iniMII).")
+  in
+  Cmd.v (Cmd.info "explain" ~doc:"Per-subproblem breakdown of one HCA pass")
+    Term.(const run $ kernel_arg $ fabric_term $ config_term $ ii_arg)
+
+let level0_cmd =
+  let run (name, f) fabric config ii =
+    ignore name;
+    let ddg = f () in
+    let ii =
+      match ii with
+      | Some ii -> ii
+      | None -> Mii.mii ddg (Dspfabric.resources fabric)
+    in
+    let view = Dspfabric.level_view fabric ~level:0 in
+    let pg =
+      Hca_machine.Pattern_graph.complete ~name:"level0"
+        ~capacities:
+          (Array.make view.Dspfabric.children view.Dspfabric.capacity_per_child)
+        ~max_in:view.Dspfabric.mux_capacity
+    in
+    let problem = Problem.of_ddg ~name:"level0" ~ddg ~pg () in
+    match See.solve ~config problem ~ii with
+    | Error e -> Format.printf "level0 failed: %s@." e
+    | Ok outcome ->
+        let st = outcome.See.state in
+        let flow = State.flow st in
+        Format.printf "ws:";
+        List.iter
+          (fun (nd : Hca_machine.Pattern_graph.node) ->
+            Format.printf " %d" (List.length (State.cluster_nodes st nd.id)))
+          (Hca_machine.Pattern_graph.regular_nodes pg);
+        Format.printf "@.arcs:@.";
+        List.iter
+          (fun (src, dst, vs) ->
+            Format.printf "  %d -> %d : %d values@." src dst (List.length vs))
+          (Hca_machine.Copy_flow.arcs flow);
+        Format.printf "total copies: %d@."
+          (Hca_machine.Copy_flow.copy_count flow)
+  in
+  let ii_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "ii" ] ~docv:"II" ~doc:"Fixed II (default: iniMII).")
+  in
+  Cmd.v
+    (Cmd.info "level0" ~doc:"Solve and dump only the level-0 subproblem")
+    Term.(const run $ kernel_arg $ fabric_term $ config_term $ ii_arg)
+
+let topology_cmd =
+  let run (name, f) fabric config =
+    ignore name;
+    let report = Report.run ~config fabric (f ()) in
+    match report.Report.result with
+    | None -> prerr_endline "clusterisation failed"; exit 1
+    | Some res -> print_string (Topology.to_string (Topology.of_result res))
+  in
+  Cmd.v
+    (Cmd.info "topology"
+       ~doc:"Emit the reconfiguration program of the selected topology")
+    Term.(const run $ kernel_arg $ fabric_term $ config_term)
+
+let sched_cmd =
+  let run (name, f) fabric config =
+    ignore name;
+    let ddg = f () in
+    let report = Report.run ~config fabric ddg in
+    match (report.Report.result, report.Report.final_mii) with
+    | Some res, Some final -> (
+        let exp = Postprocess.expand res in
+        Printf.printf "expanded DDG: %d nodes (%d receives, %d forwards)\n"
+          (Ddg.size exp.Postprocess.ddg)
+          exp.Postprocess.recv_count exp.Postprocess.forward_count;
+        let params = { Hca_sched.Modulo.default_params with copy_latency = 0 } in
+        match
+          Hca_sched.Modulo.run ~params ~ddg:exp.Postprocess.ddg
+            ~cn_of_instr:exp.Postprocess.cn_of_node
+            ~cns:(Dspfabric.total_cns fabric)
+            ~dma_ports:(Dspfabric.dma_ports fabric) ~start_ii:final ()
+        with
+        | Error e -> Printf.printf "scheduling failed: %s\n" e
+        | Ok s ->
+            Printf.printf
+              "modulo schedule: II=%d (final MII %d), %d stages, occupancy \
+               %.2f\n"
+              s.Hca_sched.Modulo.ii final s.Hca_sched.Modulo.stages
+              s.Hca_sched.Modulo.occupancy)
+    | _ ->
+        prerr_endline "clusterisation failed";
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "sched" ~doc:"Modulo-schedule the clusterised kernel end to end")
+    Term.(const run $ kernel_arg $ fabric_term $ config_term)
+
+let simulate_cmd =
+  let run (name, f) fabric config iterations =
+    ignore name;
+    let ddg = f () in
+    let report = Report.run ~config fabric ddg in
+    match (report.Report.result, report.Report.final_mii) with
+    | Some res, Some final -> (
+        let exp = Postprocess.expand res in
+        let params = { Hca_sched.Modulo.default_params with copy_latency = 0 } in
+        match
+          Hca_sched.Modulo.run ~params ~ddg:exp.Postprocess.ddg
+            ~cn_of_instr:exp.Postprocess.cn_of_node
+            ~cns:(Dspfabric.total_cns fabric)
+            ~dma_ports:(Dspfabric.dma_ports fabric) ~start_ii:final ()
+        with
+        | Error e -> Printf.printf "scheduling failed: %s\n" e
+        | Ok schedule -> (
+            match
+              Hca_sim.Machine_sim.check_against_reference ~iterations
+                ~original:ddg ~expanded:exp.Postprocess.ddg
+                ~cn_of_node:exp.Postprocess.cn_of_node ~schedule ()
+            with
+            | Error e -> Printf.printf "simulation FAILED: %s\n" e
+            | Ok stats ->
+                Printf.printf
+                  "simulated %d iterations: trace matches the reference \
+                   (%d stores, %d cycles, %d dynamic instructions)\n"
+                  iterations
+                  (List.length stats.Hca_sim.Machine_sim.trace)
+                  stats.Hca_sim.Machine_sim.cycles
+                  stats.Hca_sim.Machine_sim.issued))
+    | _ ->
+        prerr_endline "clusterisation failed";
+        exit 1
+  in
+  let iters =
+    Arg.(
+      value & opt int 8
+      & info [ "iterations" ] ~docv:"N" ~doc:"Loop iterations to simulate.")
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Execute the compiled kernel on the machine simulator and check \
+             it against the reference interpreter")
+    Term.(const run $ kernel_arg $ fabric_term $ config_term $ iters)
+
+let portfolio_cmd =
+  let run (name, f) fabric =
+    ignore name;
+    let report, winner = Portfolio.run fabric (f ()) in
+    Format.printf "%a@.winning configuration: %s@." Report.pp report winner
+  in
+  Cmd.v
+    (Cmd.info "portfolio"
+       ~doc:"Run the configuration portfolio and keep the best result")
+    Term.(const run $ kernel_arg $ fabric_term)
+
+let rcp_cmd =
+  let run (name, f) ports =
+    ignore name;
+    let rcp = Rcp.make ~in_ports:ports () in
+    match Rcp_driver.solve rcp (f ()) with
+    | Error e ->
+        Printf.printf "no feasible topology: %s\n" e;
+        exit 1
+    | Ok r ->
+        Format.printf "%a@." Rcp_driver.pp r;
+        (match Rcp_driver.validate r with
+        | Ok () -> print_endline "topology validated"
+        | Error es ->
+            List.iter print_endline es;
+            exit 1)
+  in
+  let ports =
+    Arg.(
+      value & opt int 2
+      & info [ "ports" ] ~docv:"K" ~doc:"Input ports per cluster.")
+  in
+  Cmd.v
+    (Cmd.info "rcp" ~doc:"Map a kernel onto the RCP ring (Fig. 1)")
+    Term.(const run $ kernel_arg $ ports)
+
+let list_cmd =
+  let run () =
+    print_endline "Table 1 kernels:";
+    List.iter (fun n -> print_endline ("  " ^ n)) Registry.names;
+    print_endline "extended kernels:";
+    List.iter
+      (fun (n, _) -> print_endline ("  " ^ n))
+      Hca_kernels.Extended.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available kernels") Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "hca" ~version:"1.0.0"
+      ~doc:"Hierarchical Cluster Assignment for DSPFabric (IPPS 2007 reproduction)"
+  in
+  exit (Cmd.eval (Cmd.group info [ stats_cmd; run_cmd; table1_cmd; dot_cmd; explain_cmd; level0_cmd; topology_cmd; sched_cmd; simulate_cmd; portfolio_cmd; rcp_cmd; list_cmd ]))

@@ -1,0 +1,1 @@
+examples/arch_explore.ml: Dspfabric Hca_core Hca_kernels Hca_machine Hca_util List Printf Report

@@ -1,0 +1,1 @@
+examples/custom_kernel.ml: Array Ddg Ddg_io Dspfabric Format Graph_algo Hca_core Hca_ddg Hca_kernels Hca_machine Hierarchy Mii Opcode Out_channel Printf Report

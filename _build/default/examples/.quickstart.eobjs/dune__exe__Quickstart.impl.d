@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dspfabric Format Hca_baseline Hca_core Hca_ddg Hca_kernels Hca_machine Hierarchy Option Printf Report

@@ -1,0 +1,1 @@
+examples/sched_pipeline.ml: Dspfabric Hca_core Hca_ddg Hca_kernels Hca_machine Hca_sched Hierarchy Koms List Modulo Option Printf Regpress Report

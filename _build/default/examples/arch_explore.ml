@@ -1,0 +1,85 @@
+(* Architecture exploration: how do the MUX capacities N, M, K and the
+   machine size trade off against the final MII?  This is the design
+   question §5 of the paper raises ("lower bandwidths cause a rapid
+   degradation of the clusterization quality") and explicitly leaves
+   open ("the focus of this paper is neither to explore the
+   architecture design space...").
+
+   Run with:  dune exec examples/arch_explore.exe *)
+
+open Hca_machine
+open Hca_core
+
+let kernels =
+  [
+    ("idcthor", Hca_kernels.Idcthor.ddg);
+    ("mpeg2inter", Hca_kernels.Mpeg2inter.ddg);
+  ]
+
+let run fabric f =
+  let r = Report.run fabric (f ()) in
+  match (r.Report.legal, r.Report.final_mii) with
+  | true, Some m -> string_of_int m
+  | _ -> "-"
+
+let () =
+  (* Sweep 1: uniform bandwidth on the 64-CN machine. *)
+  print_endline "final MII vs uniform MUX capacity (64 CNs):";
+  let t =
+    Hca_util.Tabular.create
+      (("loop", Hca_util.Tabular.Left)
+      :: List.map
+           (fun w -> (Printf.sprintf "w=%d" w, Hca_util.Tabular.Right))
+           [ 1; 2; 4; 8; 16 ])
+  in
+  List.iter
+    (fun (name, f) ->
+      Hca_util.Tabular.add_row t
+        (name
+        :: List.map
+             (fun w -> run (Dspfabric.make ~n:w ~m:w ~k:w ()) f)
+             [ 1; 2; 4; 8; 16 ]))
+    kernels;
+  Hca_util.Tabular.print t;
+
+  (* Sweep 2: asymmetric budgets — is the leaf crossbar (K) or the top
+     network (N) the scarcer resource? *)
+  print_endline "\nfinal MII for asymmetric budgets (idcthor):";
+  let t2 =
+    Hca_util.Tabular.create
+      [
+        ("config", Hca_util.Tabular.Left); ("final MII", Hca_util.Tabular.Right);
+      ]
+  in
+  List.iter
+    (fun (label, n, m, k) ->
+      Hca_util.Tabular.add_row t2
+        [ label; run (Dspfabric.make ~n ~m ~k ()) Hca_kernels.Idcthor.ddg ])
+    [
+      ("N=8 M=8 K=8", 8, 8, 8);
+      ("N=2 M=8 K=8", 2, 8, 8);
+      ("N=8 M=2 K=8", 8, 2, 8);
+      ("N=8 M=8 K=2", 8, 8, 2);
+    ];
+  Hca_util.Tabular.print t2;
+
+  (* Sweep 3: machine size at fixed bandwidth — scalability of the
+     hierarchy (16, 64 CNs). *)
+  print_endline "\nfinal MII vs machine size (w=8):";
+  let t3 =
+    Hca_util.Tabular.create
+      [
+        ("loop", Hca_util.Tabular.Left); ("16 CNs", Hca_util.Tabular.Right);
+        ("64 CNs", Hca_util.Tabular.Right);
+      ]
+  in
+  List.iter
+    (fun (name, f) ->
+      Hca_util.Tabular.add_row t3
+        [
+          name;
+          run (Dspfabric.make ~fanouts:[| 4; 4 |] ~n:8 ~m:8 ~k:8 ()) f;
+          run (Dspfabric.make ~n:8 ~m:8 ~k:8 ()) f;
+        ])
+    kernels;
+  Hca_util.Tabular.print t3

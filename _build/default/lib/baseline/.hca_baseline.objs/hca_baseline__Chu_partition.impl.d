@@ -1,0 +1,1 @@
+lib/baseline/chu_partition.ml: Array Ddg Dspfabric Hashtbl Hca_ddg Hca_machine List Option

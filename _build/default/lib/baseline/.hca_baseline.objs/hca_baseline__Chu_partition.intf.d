@@ -1,0 +1,1 @@
+lib/baseline/chu_partition.mli: Ddg Dspfabric Hca_ddg Hca_machine

@@ -1,0 +1,1 @@
+lib/baseline/flat_ica.ml: Array Config Copy_flow Cost Ddg Dspfabric Hca_core Hca_ddg Hca_machine List Mii Pattern_graph Problem Resource See State Sys

@@ -1,0 +1,1 @@
+lib/baseline/flat_ica.mli: Config Ddg Dspfabric Hca_core Hca_ddg Hca_machine See

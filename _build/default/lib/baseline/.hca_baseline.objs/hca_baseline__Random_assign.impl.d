@@ -1,0 +1,1 @@
+lib/baseline/random_assign.ml: Array Ddg Dspfabric Hca_ddg Hca_machine Hca_util

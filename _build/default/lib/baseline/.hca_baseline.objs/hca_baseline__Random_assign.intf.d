@@ -1,0 +1,1 @@
+lib/baseline/random_assign.mli: Ddg Dspfabric Hca_ddg Hca_machine

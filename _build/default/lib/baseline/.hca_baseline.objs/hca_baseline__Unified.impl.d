@@ -1,0 +1,1 @@
+lib/baseline/unified.ml: Dspfabric Hca_ddg Hca_machine Mii

@@ -1,0 +1,1 @@
+lib/baseline/unified.mli: Ddg Dspfabric Hca_ddg Hca_machine

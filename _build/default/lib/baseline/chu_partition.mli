@@ -1,0 +1,22 @@
+(** Baseline after Chu, Fan and Mahlke (PLDI'03): region-based
+    hierarchical operation partitioning by multilevel graph clustering.
+
+    Unlike HCA, the hierarchy here lives in the {e algorithm}, not in
+    the machine: the DDG is recursively split into balanced groups with
+    a greedy edge-affinity clustering, and the groups are then assigned
+    to the fabric's cluster sets by position.  The method knows nothing
+    about MUX capacities or reconfigurable wires, which is exactly the
+    gap the paper's related-work section points at — the benches measure
+    how often its partitions are unroutable. *)
+
+open Hca_ddg
+open Hca_machine
+
+type t = {
+  cn_of_instr : int array;
+  copies : int;  (** edges cut by the final placement *)
+  projected_mii : int;
+  violations : int;  (** wire-capacity overflows, as in {!Flat_ica} *)
+}
+
+val run : Dspfabric.t -> Ddg.t -> ii:int -> (t, string) result

@@ -1,0 +1,52 @@
+open Hca_ddg
+open Hca_machine
+
+type t = {
+  cn_of_instr : int array;
+  copies : int;
+  projected_mii : int;
+  seed : int;
+}
+
+let run ?(seed = 1) fabric ddg ~ii =
+  let cns = Dspfabric.total_cns fabric in
+  let n = Ddg.size ddg in
+  if n > cns * ii then Error "not enough issue slots at this II"
+  else begin
+    let rng = Hca_util.Prng.create seed in
+    let order = Array.init n (fun i -> i) in
+    Hca_util.Prng.shuffle rng order;
+    let load = Array.make cns 0 in
+    let cn_of_instr = Array.make n (-1) in
+    Array.iter
+      (fun i ->
+        (* Rejection-sample a CN with remaining budget; fall back to a
+           linear scan when unlucky. *)
+        let rec pick tries =
+          if tries = 0 then
+            let rec scan c = if load.(c) < ii then c else scan ((c + 1) mod cns) in
+            scan 0
+          else
+            let c = Hca_util.Prng.int rng cns in
+            if load.(c) < ii then c else pick (tries - 1)
+        in
+        let c = pick 16 in
+        load.(c) <- load.(c) + 1;
+        cn_of_instr.(i) <- c)
+      order;
+    let copies = ref 0 in
+    let incoming = Array.make cns 0 in
+    Ddg.iter_edges
+      (fun e ->
+        if cn_of_instr.(e.src) <> cn_of_instr.(e.dst) then begin
+          incr copies;
+          let d = cn_of_instr.(e.dst) in
+          incoming.(d) <- incoming.(d) + 1
+        end)
+      ddg;
+    let projected_mii = ref 1 in
+    for c = 0 to cns - 1 do
+      projected_mii := max !projected_mii (load.(c) + incoming.(c))
+    done;
+    Ok { cn_of_instr; copies = !copies; projected_mii = !projected_mii; seed }
+  end

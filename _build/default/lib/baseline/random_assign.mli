@@ -1,0 +1,20 @@
+(** Random legal-resource placement: the floor any heuristic must beat.
+
+    Instructions are shuffled onto CNs subject only to the per-CN issue
+    budget at the target II; communication feasibility is ignored.  The
+    quality metrics (inter-cluster copies, per-CN pressure) show what
+    ignoring locality costs. *)
+
+open Hca_ddg
+open Hca_machine
+
+type t = {
+  cn_of_instr : int array;
+  copies : int;  (** DDG edges whose endpoints landed on different CNs *)
+  projected_mii : int;  (** max per-CN ops + incoming values *)
+  seed : int;
+}
+
+val run : ?seed:int -> Dspfabric.t -> Ddg.t -> ii:int -> (t, string) result
+(** Fails when the shuffled placement cannot satisfy the issue budget
+    (only possible when [ii * cns < size]). *)

@@ -1,0 +1,1 @@
+lib/core/coherency.ml: Array Copy_flow Ddg Dspfabric Hca_ddg Hca_machine Hierarchy List Machine_model Mapper Pattern_graph Printf Problem Queue State String

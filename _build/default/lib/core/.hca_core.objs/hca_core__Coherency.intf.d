@@ -1,0 +1,1 @@
+lib/core/coherency.mli: Hierarchy

@@ -1,0 +1,1 @@
+lib/core/hierarchy.ml: Array Config Copy_flow Ddg Dspfabric Format Hashtbl Hca_ddg Hca_machine Ili Instr List Mapper Option Pattern_graph Printf Problem Regions Resource Result See State String

@@ -1,0 +1,1 @@
+lib/core/hierarchy.mli: Config Ddg Dspfabric Format Hca_ddg Hca_machine Instr Mapper Problem See State

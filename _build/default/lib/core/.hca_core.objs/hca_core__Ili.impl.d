@@ -1,0 +1,1 @@
+lib/core/ili.ml: Format Hca_ddg Instr List String

@@ -1,0 +1,1 @@
+lib/core/ili.mli: Format Hca_ddg Instr

@@ -1,0 +1,1 @@
+lib/core/mapper.ml: Array Copy_flow Format Hashtbl Hca_ddg Hca_machine Ili List Machine_model Option Pattern_graph Printf Problem Result State String

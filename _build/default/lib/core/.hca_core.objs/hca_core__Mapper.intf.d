@@ -1,0 +1,1 @@
+lib/core/mapper.mli: Format Hca_ddg Hca_machine Ili Machine_model Problem State Stdlib

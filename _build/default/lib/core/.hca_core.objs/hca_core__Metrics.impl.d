@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Copy_flow Dspfabric Format Hca_ddg Hca_machine Hierarchy List Mapper Mii State

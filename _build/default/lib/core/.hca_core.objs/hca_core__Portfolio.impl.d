@@ -1,0 +1,1 @@
+lib/core/portfolio.ml: Config Cost List Report

@@ -1,0 +1,1 @@
+lib/core/portfolio.mli: Config Ddg Dspfabric Hca_ddg Hca_machine Report

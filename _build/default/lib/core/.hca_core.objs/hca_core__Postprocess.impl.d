@@ -1,0 +1,1 @@
+lib/core/postprocess.ml: Array Ddg Dspfabric Hashtbl Hca_ddg Hca_machine Hca_util Hierarchy Instr List Opcode Printf String

@@ -1,0 +1,1 @@
+lib/core/postprocess.mli: Ddg Hca_ddg Hierarchy

@@ -1,0 +1,1 @@
+lib/core/problem.ml: Array Ddg Format Hashtbl Hca_ddg Hca_machine Instr List Opcode Option Pattern_graph Printf Resource

@@ -1,0 +1,1 @@
+lib/core/problem.mli: Ddg Format Hca_ddg Hca_machine Instr Pattern_graph Resource

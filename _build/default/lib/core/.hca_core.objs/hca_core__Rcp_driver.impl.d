@@ -1,0 +1,1 @@
+lib/core/rcp_driver.ml: Array Config Copy_flow Cost Ddg Format Hca_ddg Hca_machine Instr List Mii Opcode Option Printf Problem Queue Rcp See State

@@ -1,0 +1,1 @@
+lib/core/rcp_driver.mli: Config Ddg Format Hca_ddg Hca_machine Rcp State

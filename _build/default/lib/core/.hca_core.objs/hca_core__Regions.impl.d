@@ -1,0 +1,1 @@
+lib/core/regions.ml: Array Ddg Graph_algo Hashtbl Hca_ddg List Option Problem

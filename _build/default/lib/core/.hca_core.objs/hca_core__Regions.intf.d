@@ -1,0 +1,1 @@
+lib/core/regions.mli: Hca_ddg Problem

@@ -1,0 +1,1 @@
+lib/core/report.ml: Coherency Config Ddg Dspfabric Format Hca_ddg Hca_machine Hierarchy Metrics Mii Sys

@@ -1,0 +1,1 @@
+lib/core/report.mli: Config Ddg Dspfabric Format Hca_ddg Hca_machine Hierarchy

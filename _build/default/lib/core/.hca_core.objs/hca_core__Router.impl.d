@@ -1,0 +1,1 @@
+lib/core/router.ml: Array Copy_flow Hca_machine List Pattern_graph Queue Resource State

@@ -1,0 +1,1 @@
+lib/core/router.mli: Cost Hca_ddg Hca_machine Pattern_graph State

@@ -1,0 +1,1 @@
+lib/core/see.ml: Array Config Cost Hashtbl Hca_machine List Option Printf Problem Regions Router State String

@@ -1,0 +1,1 @@
+lib/core/see.mli: Config Hca_machine Problem State

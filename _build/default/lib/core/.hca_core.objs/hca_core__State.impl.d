@@ -1,0 +1,1 @@
+lib/core/state.ml: Array Copy_flow Cost Format Hca_ddg Hca_machine Instr List Pattern_graph Printf Problem Resource

@@ -1,0 +1,1 @@
+lib/core/state.mli: Copy_flow Cost Format Hca_ddg Hca_machine Instr Pattern_graph Problem Resource

@@ -1,0 +1,1 @@
+lib/core/topology.ml: Buffer Ddg Dspfabric Format Hca_ddg Hca_machine Hierarchy Instr List Machine_model Mapper Printf String

@@ -1,0 +1,1 @@
+lib/core/topology.mli: Format Hca_ddg Hierarchy Instr

@@ -1,0 +1,22 @@
+(** The coherency checker that closes the HCA pass (§4.1): "verifies if
+    the DDG is compatible with the topology itself.  More precisely it
+    checks for the presence of a communication path on the final
+    architecture between each pair of clusters that contains dependent
+    nodes of the DDG."
+
+    The checker re-derives legality from the recorded artefacts alone —
+    it trusts neither the SEE nor the Mapper:
+
+    - every wire model satisfies its structural invariants
+      ({!Hca_machine.Machine_model.validate});
+    - every output port owed a value is actually fed it;
+    - for every DDG edge whose endpoints sit on different CNs, the value
+      travels hop by hop: sideways on wires that physically carry it,
+      upwards through output ports, and downwards through the
+      pre-allocated father wires, at every level between the two CNs. *)
+
+val check : Hierarchy.t -> (unit, string list) result
+(** [Ok ()] means the clusterisation is legal; [Error msgs] collects
+    every violation found (the benches report the first few). *)
+
+val is_legal : Hierarchy.t -> bool

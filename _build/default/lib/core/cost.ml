@@ -1,0 +1,50 @@
+type weights = {
+  w_copy : float;
+  w_balance : float;
+  w_pressure : float;
+  w_port : float;
+  w_util : float;
+  w_fanin : float;
+  w_tear : float;
+  w_carried : float;
+}
+
+let default_weights =
+  {
+    w_copy = 1.0;
+    w_balance = 0.5;
+    w_pressure = 8.0;
+    w_port = 0.25;
+    w_util = 0.5;
+    w_fanin = 2.0;
+    w_tear = 1.5;
+    w_carried = 6.0;
+  }
+
+type summary = {
+  copies : int;
+  max_util : float;
+  util_spread : float;
+  projected_ii : int;
+  target_ii : int;
+  used_in_ports : int;
+  fanin_sat : float;
+  carried_cuts : int;
+}
+
+let score w s =
+  let overshoot = max 0 (s.projected_ii - s.target_ii) in
+  (w.w_copy *. float_of_int s.copies)
+  +. (w.w_balance *. s.util_spread)
+  +. (w.w_pressure *. float_of_int overshoot)
+  +. (w.w_port *. float_of_int s.used_in_ports)
+  +. (w.w_util *. s.max_util)
+  +. (w.w_fanin *. s.fanin_sat)
+  +. (w.w_carried *. float_of_int s.carried_cuts)
+
+let pp_weights ppf w =
+  Format.fprintf ppf
+    "{copy=%g; balance=%g; pressure=%g; port=%g; util=%g; fanin=%g; tear=%g; \
+     carried=%g}"
+    w.w_copy w.w_balance w.w_pressure w.w_port w.w_util w.w_fanin w.w_tear
+    w.w_carried

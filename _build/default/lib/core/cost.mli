@@ -1,0 +1,51 @@
+(** Objective function of the Space Exploration Engine (§3).
+
+    The assignment [n -> c] is evaluated by a weighted combination of
+    heuristic criteria.  Following §4.2, the dominant factor is the
+    projected Minimum Initiation Interval of the loop on the clusterised
+    machine; the other terms break ties towards fewer inter-cluster
+    copies and a balanced load, which keep the copy pressure low in the
+    later Mapper pass. *)
+
+type weights = {
+  w_copy : float;  (** per inter-cluster value hop *)
+  w_balance : float;  (** load-imbalance penalty (utilisation spread) *)
+  w_pressure : float;  (** per cycle of projected-II overshoot over the target *)
+  w_port : float;  (** per input port drawn into the level (leaf: scarce, K) *)
+  w_util : float;  (** peak-utilisation smoothing term *)
+  w_fanin : float;
+      (** in-neighbour saturation: clusters whose MUX inputs are nearly
+          exhausted choke later assignments, so the search steers away
+          before hitting the wall *)
+  w_tear : float;
+      (** region-tear lookahead: penalty per region node that will not
+          fit on the chosen cluster after this assignment — discourages
+          starting an affinity region on a cluster too full to hold it *)
+  w_carried : float;
+      (** per loop-carried dependence cut across clusters: every such
+          cut stretches a recurrence circuit by the copy latency and
+          inflates MIIRec beyond anything the static bound predicted *)
+}
+
+val default_weights : weights
+
+(** What the scorer sees of a (partial) solution; produced by
+    {!State.summary} so that the two modules stay decoupled. *)
+type summary = {
+  copies : int;
+  max_util : float;  (** max over clusters of demand slots / capacity slots *)
+  util_spread : float;  (** max - min utilisation over non-empty capacity clusters *)
+  projected_ii : int;  (** cluster-MII estimate incl. receive pressure *)
+  target_ii : int;
+  used_in_ports : int;
+  fanin_sat : float;
+      (** sum over clusters of (real in-neighbours / max_in)^2 *)
+  carried_cuts : int;
+      (** loop-carried dependences whose endpoints sit on different
+          clusters *)
+}
+
+val score : weights -> summary -> float
+(** Lower is better.  Monotone in every summary component. *)
+
+val pp_weights : Format.formatter -> weights -> unit

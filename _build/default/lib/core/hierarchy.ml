@@ -1,0 +1,328 @@
+open Hca_ddg
+open Hca_machine
+
+type subresult = {
+  path : int list;
+  problem : Problem.t;
+  outcome : See.outcome;
+  state : State.t;
+      (* the committed solution: [outcome.state] or one of its
+         alternatives when inter-level backtracking stepped in *)
+  mapres : Mapper.result;
+  children : subresult option array;
+}
+
+type t = {
+  fabric : Dspfabric.t;
+  ddg : Ddg.t;
+  ii : int;
+  root : subresult;
+  cn_of_instr : int array;
+  forwards : (Instr.id * int) list;
+  explored : int;
+  routed : int;
+}
+
+let ( let* ) = Result.bind
+
+let path_name path =
+  match path with
+  | [] -> "0"
+  | _ -> "0," ^ String.concat "," (List.map string_of_int path)
+
+(* Absolute CN index of child [j] of the subproblem at [path]: the
+   mixed-radix number written by the nesting indexes. *)
+let absolute_cn fabric path j =
+  let children level = (Dspfabric.level_view fabric ~level).Dspfabric.children in
+  let rec go acc level = function
+    | [] -> acc
+    | i :: rest -> go ((acc * children level) + i) (level + 1) rest
+  in
+  (go 0 0 path * children (List.length path)) + j
+
+let take n l =
+  let rec go n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: tl -> x :: go (n - 1) tl
+  in
+  go n l
+
+let solve ?(config = Config.default) ?target_ii fabric ddg ~ii =
+  let target_ii = Option.value ~default:ii target_ii in
+  let explored = ref 0 and routed = ref 0 in
+  let rec solve_sub ~level ~path ~ws ~ili =
+    let view = Dspfabric.level_view fabric ~level in
+    let name = path_name path in
+    (* Every wire into a child burns one of the child's own input
+       slots at the next level down, so stay well under the MUX
+       capacity at every set level. *)
+    let max_in =
+      if view.Dspfabric.is_leaf then view.Dspfabric.mux_capacity
+      else min view.Dspfabric.mux_capacity config.Config.leaf_feed_fanin_cap
+    in
+    let pg_base =
+      Pattern_graph.complete ~name
+        ~capacities:
+          (Array.make view.Dspfabric.children view.Dspfabric.capacity_per_child)
+        ~max_in
+    in
+    let pg =
+      Pattern_graph.with_ports pg_base ~inputs:ili.Ili.inputs
+        ~outputs:ili.Ili.outputs
+    in
+    let* problem =
+      Problem.of_working_set ~name ~ddg ~ws ~pg
+        ~max_in_ports:view.Dspfabric.max_in_ports ()
+    in
+    (* Planned topology backbone: greedy assignment deadlocks when the
+       scarce input slots fill before every father wire has a landing
+       point, so (i) every input port gets one pre-committed delivery
+       arc, round-robin over the clusters, and (ii) the leftover slots
+       close a ring between the clusters so any value can still reach
+       any cluster by forwarding.  Reservations only shape the search:
+       unused ones cost nothing at mapping time. *)
+    let backbone =
+      let c = view.Dspfabric.children in
+      let slots = Array.make c max_in in
+      let arcs = ref [] in
+      List.iteri
+        (fun j (nd : Pattern_graph.node) ->
+          let ch = j mod c in
+          if slots.(ch) > 0 then begin
+            arcs := (nd.Pattern_graph.id, ch) :: !arcs;
+            slots.(ch) <- slots.(ch) - 1
+          end)
+        (Pattern_graph.in_ports pg);
+      for i = 0 to c - 1 do
+        if slots.(i) > 0 then begin
+          arcs := ((i + 1) mod c, i) :: !arcs;
+          slots.(i) <- slots.(i) - 1
+        end
+      done;
+      !arcs
+    in
+    (* Set levels keep ~20% issue headroom: the levels below will add
+       receive and forwarding operations this level cannot see, and a
+       cluster filled to the brim leaves them nowhere to go.  Never
+       below what the working set strictly needs, though. *)
+    let see_ii =
+      if view.Dspfabric.is_leaf then ii
+      else begin
+        let demand = Resource.demand ddg ws in
+        let child_cap = view.Dspfabric.capacity_per_child in
+        let floor_ii =
+          (Resource.min_ii ~demand
+             ~capacity:(Resource.scale view.Dspfabric.children child_cap)
+          + 1)
+          |> min ii
+        in
+        max floor_ii (ii * 4 / 5)
+      end
+    in
+    let* outcome = See.solve ~config ~target_ii ~backbone problem ~ii:see_ii in
+    explored := !explored + outcome.See.explored;
+    routed := !routed + outcome.See.routed;
+    (* Wires made here become input ports of the children; packing them
+       is the default ([mapper_spread = false]). *)
+    let consolidate = not config.Config.mapper_spread in
+    (* A set-level wire's payload funnels through one child cluster
+       downstream, one emission slot per value — cap it at the II.  The
+       leaf CN's single wire is exempt (its issue budget already bounds
+       what it can emit). *)
+    let wire_cap = if view.Dspfabric.is_leaf then max_int else ii in
+    (* Colour the values by producer regions sized to the grandchild
+       clusters this level's wires funnel into. *)
+    let color =
+      if view.Dspfabric.is_leaf then None
+      else begin
+        let grandchild_cns =
+          (Dspfabric.level_view fabric ~level:(level + 1)).Dspfabric.cns_per_child
+        in
+        let in_ws = Hashtbl.create (List.length ws) in
+        List.iter (fun g -> Hashtbl.replace in_ws g ()) ws;
+        let regions =
+          Regions.partition_ddg ddg ~members:ws
+            ~capacity:(max 1 (grandchild_cns * ii * 4 / 5))
+        in
+        Some
+          (fun v ->
+            if Hashtbl.mem in_ws v then regions v
+            else
+              (* Pass-through value produced outside this working set:
+                 keep it alone on its wire. *)
+              1_000_000 + v)
+      end
+    in
+    (* A leaf quad has 4 CNs x 2 input wires, half of them pinned to the
+       ring backbone: feeding it more than 4 distinct wires could never
+       be hooked up, so the leaf-feeding mapper works with the reduced
+       budget. *)
+    let feeds_leaves =
+      (not view.Dspfabric.is_leaf)
+      && (Dspfabric.level_view fabric ~level:(level + 1)).Dspfabric.is_leaf
+    in
+    let in_capacity =
+      if feeds_leaves then min view.Dspfabric.mux_capacity 4
+      else view.Dspfabric.mux_capacity
+    in
+    let commit st =
+      let* mapres =
+        Result.map_error
+          (fun m -> Printf.sprintf "%s: mapper: %s" name m)
+          (Mapper.map ~consolidate ~wire_cap ?color ~problem ~state:st
+             ~in_capacity ~out_capacity:view.Dspfabric.out_capacity ())
+      in
+      let children = Array.make view.Dspfabric.children None in
+      if view.Dspfabric.is_leaf then
+        Ok { path; problem; outcome; state = st; mapres; children }
+      else begin
+        let ws_of_child = Array.make view.Dspfabric.children [] in
+        Array.iter
+          (fun (nd : Problem.node) ->
+            match (nd.Problem.global, State.placement st nd.Problem.id) with
+            | Some g, Some c when Pattern_graph.is_regular pg c ->
+                ws_of_child.(c) <- g :: ws_of_child.(c)
+            | _ -> ())
+          (Problem.nodes problem);
+        let rec spawn i =
+          if i >= view.Dspfabric.children then Ok ()
+          else
+            let child_ws = List.rev ws_of_child.(i) in
+            let child_ili = mapres.Mapper.child_ilis.(i) in
+            if child_ws = [] && Ili.is_empty child_ili then spawn (i + 1)
+            else
+              let* sub =
+                solve_sub ~level:(level + 1) ~path:(path @ [ i ]) ~ws:child_ws
+                  ~ili:child_ili
+              in
+              children.(i) <- Some sub;
+              spawn (i + 1)
+        in
+        let* () = spawn 0 in
+        Ok { path; problem; outcome; state = st; mapres; children }
+      end
+    in
+    (* Inter-level backtracking: when the best partial solution's
+       subtree fails, fall back on the surviving beam alternatives. *)
+    let candidates =
+      take config.Config.max_alternatives
+        (outcome.See.state :: outcome.See.alternatives)
+    in
+    let rec try_states last_error = function
+      | [] -> Error (Option.value ~default:(name ^ ": no states") last_error)
+      | st :: rest -> (
+          match commit st with
+          | Ok sub -> Ok sub
+          | Error e -> try_states (Some e) rest)
+    in
+    try_states None candidates
+  in
+  let ws = List.init (Ddg.size ddg) (fun i -> i) in
+  let* root = solve_sub ~level:0 ~path:[] ~ws ~ili:Ili.empty in
+  (* Harvest the leaf placements from the committed tree. *)
+  let cn_of_instr = Array.make (Ddg.size ddg) (-1) in
+  let forwards = ref [] in
+  let depth = Dspfabric.depth fabric in
+  let rec harvest sub =
+    if List.length sub.path = depth - 1 then begin
+      Array.iter
+        (fun (nd : Problem.node) ->
+          match (nd.Problem.pinned, State.placement sub.state nd.Problem.id) with
+          | Some _, _ -> ()
+          | None, None -> assert false (* the SEE returned a complete state *)
+          | None, Some cn -> (
+              let abs = absolute_cn fabric sub.path cn in
+              match nd.Problem.global with
+              | Some g -> cn_of_instr.(g) <- abs
+              | None -> forwards := (nd.Problem.value, abs) :: !forwards))
+        (Problem.nodes sub.problem);
+      List.iter
+        (fun (value, via) ->
+          forwards := (value, absolute_cn fabric sub.path via) :: !forwards)
+        (State.forwards sub.state)
+    end
+    else
+      Array.iter
+        (function None -> () | Some c -> harvest c)
+        sub.children
+  in
+  harvest root;
+  let missing = ref [] in
+  Array.iteri (fun g cn -> if cn < 0 then missing := g :: !missing) cn_of_instr;
+  match !missing with
+  | _ :: _ ->
+      Error
+        (Printf.sprintf "instructions never reached a CN: [%s]"
+           (String.concat "," (List.rev_map string_of_int !missing)))
+  | [] ->
+      Ok
+        {
+          fabric;
+          ddg;
+          ii;
+          root;
+          cn_of_instr;
+          forwards = !forwards;
+          explored = !explored;
+          routed = !routed;
+        }
+
+let subresults t =
+  let rec walk sub acc =
+    sub
+    :: Array.fold_left
+         (fun acc child ->
+           match child with None -> acc | Some c -> walk c acc)
+         acc sub.children
+  in
+  walk t.root []
+
+let leaf_of_path t path =
+  let rec go sub = function
+    | [] -> Some sub
+    | i :: rest -> (
+        if i < 0 || i >= Array.length sub.children then None
+        else match sub.children.(i) with None -> None | Some c -> go c rest)
+  in
+  go t.root path
+
+let cn_count t cn =
+  let ops =
+    Array.fold_left (fun acc c -> if c = cn then acc + 1 else acc) 0 t.cn_of_instr
+  in
+  ops + List.length (List.filter (fun (_, c) -> c = cn) t.forwards)
+
+(* A CN receives one value per copy entering it in its leaf problem's
+   flow (from sibling CNs and from the wires coming down the
+   hierarchy). *)
+let recv_count t cn =
+  let path_of_cn =
+    let rec go cn level acc =
+      if level < 0 then acc
+      else
+        let view = Dspfabric.level_view t.fabric ~level in
+        go (cn / view.Dspfabric.children) (level - 1)
+          ((cn mod view.Dspfabric.children) :: acc)
+    in
+    go cn (Dspfabric.depth t.fabric - 1) []
+  in
+  match path_of_cn with
+  | [] -> 0
+  | _ -> (
+      let leaf_path =
+        List.filteri (fun i _ -> i < List.length path_of_cn - 1) path_of_cn
+      in
+      let local = List.nth path_of_cn (List.length path_of_cn - 1) in
+      match leaf_of_path t leaf_path with
+      | None -> 0
+      | Some leaf -> Copy_flow.in_pressure (State.flow leaf.state) local)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>HCA on %s, kernel %s, II=%d: %d instrs on %d CNs, %d forwards, %d \
+     states explored@]"
+    (Dspfabric.name t.fabric) (Ddg.name t.ddg) t.ii (Ddg.size t.ddg)
+    (Dspfabric.total_cns t.fabric)
+    (List.length t.forwards)
+    t.explored

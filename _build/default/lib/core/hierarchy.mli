@@ -1,0 +1,63 @@
+(** The Hierarchical Cluster Assignment driver (§4).
+
+    Starting at level 0, each subproblem — identified by its path of
+    nesting indexes, Fig. 8 (a) — maps its Working Set onto the PG of
+    its level with the SEE, lowers the resulting copy flow onto the
+    level's wires with the Mapper, and spawns one child subproblem per
+    cluster set with the ILI the Mapper produced.  The recursion bottoms
+    out at the leaf crossbar, where the PG nodes are single computation
+    nodes and the placement becomes final. *)
+
+open Hca_ddg
+open Hca_machine
+
+type subresult = {
+  path : int list;  (** nesting indexes, [[]] for the root problem *)
+  problem : Problem.t;
+  outcome : See.outcome;
+  state : State.t;
+      (** the committed solution — [outcome.state], or one of its beam
+          alternatives when a child subproblem of the best state proved
+          infeasible and the driver backtracked *)
+  mapres : Mapper.result;
+  children : subresult option array;
+      (** one slot per PG regular node; [None] when nothing was assigned
+          to — or flows through — that cluster set (always all-[None] at
+          the leaf) *)
+}
+
+type t = {
+  fabric : Dspfabric.t;
+  ddg : Ddg.t;
+  ii : int;  (** target II the assignment was built against *)
+  root : subresult;
+  cn_of_instr : int array;  (** instruction id -> absolute CN index *)
+  forwards : (Instr.id * int) list;
+      (** routed pass-through moves: (value, absolute CN executing it) *)
+  explored : int;  (** partial solutions generated across all subproblems *)
+  routed : int;  (** SEE moves that needed the Route Allocator *)
+}
+
+val solve :
+  ?config:Config.t ->
+  ?target_ii:int ->
+  Dspfabric.t ->
+  Ddg.t ->
+  ii:int ->
+  (t, string) result
+(** One full HCA pass with capacity window [ii] (cost functions aim at
+    [target_ii], default [ii]).  Fails with the path and node of the
+    first subproblem that admits no legal clusterisation. *)
+
+val subresults : t -> subresult list
+(** Pre-order walk of the problem tree. *)
+
+val leaf_of_path : t -> int list -> subresult option
+
+val cn_count : t -> int -> int
+(** Instructions (forwards included) placed on an absolute CN. *)
+
+val recv_count : t -> int -> int
+(** Distinct values a CN receives — each costs one receive primitive. *)
+
+val pp : Format.formatter -> t -> unit

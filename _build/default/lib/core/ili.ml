@@ -1,0 +1,30 @@
+open Hca_ddg
+
+type t = {
+  inputs : (int * Instr.id list) list;
+  outputs : (int * Instr.id list) list;
+}
+
+let empty = { inputs = []; outputs = [] }
+
+let is_empty t = t.inputs = [] && t.outputs = []
+
+let distinct_values wires =
+  List.concat_map snd wires |> List.sort_uniq compare
+
+let input_values t = distinct_values t.inputs
+
+let output_values t = distinct_values t.outputs
+
+let pp ppf t =
+  let pp_side name wires =
+    List.iter
+      (fun (w, vs) ->
+        Format.fprintf ppf "@,  %s w%d: [%s]" name w
+          (String.concat "," (List.map string_of_int vs)))
+      wires
+  in
+  Format.fprintf ppf "@[<v>ili:";
+  pp_side "in" t.inputs;
+  pp_side "out" t.outputs;
+  Format.fprintf ppf "@]"

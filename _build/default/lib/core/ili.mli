@@ -1,0 +1,26 @@
+(** Inter-Level Interface (§4.1, Fig. 9 (c)): what the Mapper of a
+    father problem tells each child subproblem about the wires crossing
+    its boundary.
+
+    Each entry pairs a wire label (unique within the child) with the
+    full payload the wire physically carries; the child consumes the
+    values it needs and forwards the ones its own output wires owe. *)
+
+open Hca_ddg
+
+type t = {
+  inputs : (int * Instr.id list) list;
+  outputs : (int * Instr.id list) list;
+}
+
+val empty : t
+(** The interface of the root problem: level 0 has no father. *)
+
+val is_empty : t -> bool
+
+val input_values : t -> Instr.id list
+(** Distinct values entering, sorted. *)
+
+val output_values : t -> Instr.id list
+
+val pp : Format.formatter -> t -> unit

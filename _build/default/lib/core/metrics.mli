@@ -1,0 +1,26 @@
+(** Quality metrics of a completed HCA pass, headed by the paper's main
+    cost factor (§4.2):
+    [final MII = max (iniMII, maxClsMII)], where [iniMII] is the MII of
+    the kernel on the whole machine and [maxClsMII] folds in, per
+    cluster, the resource MII plus the copy-pressure terms (receive
+    primitives on the CN issue slot, values serialised on single
+    wires). *)
+
+type t = {
+  rec_mii : int;  (** recurrence bound of the original DDG *)
+  res_mii : int;  (** whole-machine resource bound *)
+  ini_mii : int;  (** [max rec_mii res_mii] — the theoretical optimum of
+                      an equivalent-issue-width unified machine *)
+  max_cls_mii : int;
+      (** heaviest CN: opcodes + forwards + receive primitives, all on
+          the single issue slot *)
+  wire_mii : int;  (** heaviest wire payload across every level *)
+  final_mii : int;
+  copies : int;  (** value hops summed over every level's flow *)
+  forwards : int;
+  max_wire_load : int;
+}
+
+val of_result : Hierarchy.t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+let default_configs =
+  [
+    ("default", Config.default);
+    ("beam16", { Config.default with beam_width = 16; candidate_width = 4 });
+    ("criticality", { Config.default with priority = Config.Criticality });
+    ("spread", { Config.default with mapper_spread = true });
+    ( "copy-averse",
+      {
+        Config.default with
+        weights = { Cost.default_weights with w_copy = 3.0; w_tear = 3.0 };
+      } );
+    ("tight-quads", { Config.default with leaf_feed_fanin_cap = 3 });
+    ( "thorough",
+      {
+        Config.default with
+        beam_width = 24;
+        candidate_width = 4;
+        max_alternatives = 8;
+        ii_patience = 5;
+      } );
+  ]
+
+let better (a : Report.t) (b : Report.t) =
+  match (a.Report.legal, b.Report.legal) with
+  | true, false -> true
+  | false, true -> false
+  | false, false -> false
+  | true, true -> (
+      match (a.Report.final_mii, b.Report.final_mii) with
+      | Some ma, Some mb ->
+          ma < mb || (ma = mb && a.Report.copies < b.Report.copies)
+      | Some _, None -> true
+      | None, _ -> false)
+
+let run ?(configs = default_configs) fabric ddg =
+  match configs with
+  | [] -> invalid_arg "Portfolio.run: empty configuration list"
+  | (name0, config0) :: rest ->
+      let first = Report.run ~config:config0 fabric ddg in
+      List.fold_left
+        (fun (best, best_name) (name, config) ->
+          let r = Report.run ~config fabric ddg in
+          if better r best then (r, name) else (best, best_name))
+        (first, name0) rest

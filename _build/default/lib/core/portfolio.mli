@@ -1,0 +1,19 @@
+(** Portfolio search: the heuristic knobs of {!Config.t} interact with
+    the kernel shape in ways no single setting wins everywhere (§7:
+    "ongoing research aims at tuning of the heuristics and cost
+    functions").  The portfolio runs the full pipeline under a small set
+    of deliberately diverse configurations and keeps the best legal
+    clusterisation — smaller final MII first, fewer copies as the
+    tie-break. *)
+
+open Hca_ddg
+open Hca_machine
+
+val default_configs : (string * Config.t) list
+(** Diverse and cheap: default, wide beam, criticality order, spread
+    wires, and copy-averse weights. *)
+
+val run :
+  ?configs:(string * Config.t) list -> Dspfabric.t -> Ddg.t -> Report.t * string
+(** Best report plus the name of the winning configuration.  Falls back
+    to the default configuration's report when nothing is legal. *)

@@ -1,0 +1,34 @@
+(** The post-processing pass that closes HCA (§4.1): "Each DDG node is
+    assigned to a CN and receive primitives are added as new DDG nodes,
+    which perform the migration of the operands between different CNs."
+
+    The expanded DDG is what the modulo scheduler consumes: every
+    inter-CN dependence is split through an explicit [Recv] on the
+    consumer's CN (one per value and destination, shared by all its
+    consumers there), and every value the Route Allocator detoured gets
+    its forwarding [Mov] on the intermediate CN.  Transport latency is
+    charged on the producer->receive edge, one cycle per hierarchy level
+    the value crosses upward and downward. *)
+
+open Hca_ddg
+
+type t = {
+  ddg : Ddg.t;  (** original instructions first, then movs, then recvs *)
+  cn_of_node : int array;  (** absolute CN per node of [ddg] *)
+  recv_count : int;
+  forward_count : int;
+}
+
+val expand : Hierarchy.t -> t
+
+val hop_distance : Hierarchy.t -> src_cn:int -> dst_cn:int -> int
+(** Wire hops between two CNs: 0 on the same CN, otherwise twice the
+    tree distance to the lowest common cluster set minus one. *)
+
+val issue_load : t -> int array
+(** Per-CN issue-slot demand of the expanded DDG: the per-cluster MII
+    contribution the paper's maxClsMII measures. *)
+
+val validate : t -> Hierarchy.t -> (unit, string) result
+(** Structural checks: every original edge either stays intra-CN or is
+    rerouted through exactly one receive on the consumer's CN. *)

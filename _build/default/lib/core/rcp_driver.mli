@@ -1,0 +1,33 @@
+(** Single-level cluster assignment for the RCP architecture (§2.1):
+    the non-hierarchical target that motivates the framework before the
+    DSPFabric hierarchy enters (Fig. 1).
+
+    RCP needs no decomposition: the whole DDG maps onto the ring's
+    Pattern Graph in one SEE pass, and the "topology selection" is
+    exactly the set of real arcs of the resulting copy flow — each one a
+    neighbour link to configure, at most [in_ports] per cluster. *)
+
+open Hca_ddg
+open Hca_machine
+
+type t = {
+  rcp : Rcp.t;
+  ddg : Ddg.t;
+  ii : int;  (** first feasible initiation interval *)
+  state : State.t;
+  topology : (int * int) list;  (** configured links, Fig. 1 (b) *)
+  projected_mii : int;
+  copies : int;
+  explored : int;
+}
+
+val solve : ?config:Config.t -> Rcp.t -> Ddg.t -> (t, string) result
+(** Climbs the II from [MIIRec] until the SEE finds an assignment. *)
+
+val validate : t -> (unit, string list) result
+(** Re-checks the selected topology against the architecture: every
+    link is a potential ring connection, no cluster exceeds its input
+    ports, memory instructions sit on memory-capable clusters, and
+    every inter-cluster dependence rides a configured link. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,147 @@
+open Hca_ddg
+open Hca_machine
+
+type t = {
+  kernel : string;
+  machine : string;
+  n_instr : int;
+  mii_rec : int;
+  mii_res : int;
+  ini_mii : int;
+  legal : bool;
+  final_mii : int option;
+  ii_used : int;
+  copies : int;
+  forwards : int;
+  max_wire_load : int;
+  explored_states : int;
+  routed_moves : int;
+  runtime_s : float;
+  error : string option;
+  result : Hierarchy.t option;
+}
+
+let base_row ~kernel ~machine ddg fabric_resources =
+  let mii_rec = Mii.rec_mii ddg in
+  let mii_res = Mii.res_mii ddg fabric_resources in
+  {
+    kernel;
+    machine;
+    n_instr = Ddg.size ddg;
+    mii_rec;
+    mii_res;
+    ini_mii = max mii_rec mii_res;
+    legal = false;
+    final_mii = None;
+    ii_used = 0;
+    copies = 0;
+    forwards = 0;
+    max_wire_load = 0;
+    explored_states = 0;
+    routed_moves = 0;
+    runtime_s = 0.0;
+    error = None;
+    result = None;
+  }
+
+let run ?(config = Config.default) fabric ddg =
+  let t0 = Sys.time () in
+  let base =
+    base_row ~kernel:(Ddg.name ddg) ~machine:(Dspfabric.name fabric) ddg
+      (Dspfabric.resources fabric)
+  in
+  let explored = ref 0 and routed = ref 0 in
+  let attempt ii =
+    match Hierarchy.solve ~config ~target_ii:base.ini_mii fabric ddg ~ii with
+    | Error e -> Error e
+    | Ok res ->
+        explored := !explored + res.Hierarchy.explored;
+        routed := !routed + res.Hierarchy.routed;
+        let metrics = Metrics.of_result res in
+        let legal = Coherency.is_legal res in
+        Ok (res, metrics, legal)
+  in
+  (* Climb to the first feasible II, then give the SEE [ii_patience]
+     more values of slack and keep the best legal outcome. *)
+  (* Wire constraints do not relax with the II, so a deep climb is
+     pointless: cap the search well before the configured ceiling. *)
+  let ii_limit = min config.Config.max_ii ((4 * base.ini_mii) + 12) in
+  let rec climb ii last_error =
+    if ii > ii_limit then (None, last_error)
+    else
+      match attempt ii with
+      | Ok ok -> (Some (ii, ok), None)
+      | Error e -> climb (ii + 1) (Some e)
+  in
+  let first, error = climb base.ini_mii None in
+  match first with
+  | None ->
+      {
+        base with
+        error;
+        explored_states = !explored;
+        routed_moves = !routed;
+        runtime_s = Sys.time () -. t0;
+      }
+  | Some (ii0, first_ok) ->
+      let better_than (_, m1, l1) (_, m2, l2) =
+        match (l1, l2) with
+        | true, false -> true
+        | false, true -> false
+        | _ ->
+            (m1 : Metrics.t).final_mii < (m2 : Metrics.t).final_mii
+      in
+      let best = ref (ii0, first_ok) in
+      for ii = ii0 + 1 to min config.Config.max_ii (ii0 + config.Config.ii_patience) do
+        match attempt ii with
+        | Ok ok when better_than ok (snd !best) -> best := (ii, ok)
+        | Ok _ | Error _ -> ()
+      done;
+      let ii_used, (res, metrics, legal) = !best in
+      {
+        base with
+        legal;
+        final_mii = Some metrics.Metrics.final_mii;
+        ii_used;
+        copies = metrics.Metrics.copies;
+        forwards = metrics.Metrics.forwards;
+        max_wire_load = metrics.Metrics.max_wire_load;
+        explored_states = !explored;
+        routed_moves = !routed;
+        runtime_s = Sys.time () -. t0;
+        error = (if legal then None else Some "coherency check failed");
+        result = Some res;
+      }
+
+let failure_row ~kernel ~machine ddg msg =
+  let resources =
+    (* Static bounds on the reference machine so the row stays
+       informative even when the target never materialised. *)
+    Dspfabric.resources Dspfabric.reference
+  in
+  { (base_row ~kernel ~machine ddg resources) with error = Some msg }
+
+let header = [ "Loop"; "N_Instr"; "MIIRec"; "MIIRes"; "Legal"; "Final MII" ]
+
+let row t =
+  [
+    t.kernel;
+    string_of_int t.n_instr;
+    string_of_int t.mii_rec;
+    string_of_int t.mii_res;
+    (if t.legal then "yes" else "no");
+    (match t.final_mii with Some m -> string_of_int m | None -> "-");
+  ]
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>%s on %s: %d instrs, MIIRec=%d MIIRes=%d ini=%d -> %s (II target \
+     %d, legal=%b)@,\
+     copies=%d forwards=%d wire<=%d explored=%d routed=%d in %.3fs%s@]"
+    t.kernel t.machine t.n_instr t.mii_rec t.mii_res t.ini_mii
+    (match t.final_mii with
+    | Some m -> "final MII " ^ string_of_int m
+    | None -> "FAILED")
+    t.ii_used t.legal t.copies t.forwards t.max_wire_load t.explored_states
+    t.routed_moves t.runtime_s
+    (match t.error with None -> "" | Some e -> " error: " ^ e)

@@ -1,0 +1,47 @@
+(** The top-level HCA entry point: the initiation-interval search loop
+    around {!Hierarchy.solve}, plus the record the benches print as the
+    rows of Table 1.
+
+    The driver starts at the theoretical lower bound
+    [iniMII = max (MIIRec, MIIRes)] and climbs until a legal
+    clusterisation exists; it then explores [ii_patience] further II
+    values, because a little extra slack sometimes lets the SEE pack
+    with fewer copies and a smaller {e final} MII, and keeps the best
+    legal result. *)
+
+open Hca_ddg
+open Hca_machine
+
+type t = {
+  kernel : string;
+  machine : string;
+  n_instr : int;
+  mii_rec : int;
+  mii_res : int;
+  ini_mii : int;
+  legal : bool;
+  final_mii : int option;  (** [None] when no II up to the limit worked *)
+  ii_used : int;
+  copies : int;
+  forwards : int;
+  max_wire_load : int;
+  explored_states : int;
+  routed_moves : int;
+  runtime_s : float;  (** CPU seconds spent in the whole search *)
+  error : string option;
+  result : Hierarchy.t option;  (** the winning assignment, for inspection *)
+}
+
+val run : ?config:Config.t -> Dspfabric.t -> Ddg.t -> t
+
+val failure_row : kernel:string -> machine:string -> Ddg.t -> string -> t
+(** A row for a kernel that could not be clusterised, with the static
+    bounds still filled in. *)
+
+val header : string list
+(** Column names matching {!row}. *)
+
+val row : t -> string list
+(** Paper-style row: loop, N_Instr, MIIRec, MIIRes, legal, final MII. *)
+
+val pp : Format.formatter -> t -> unit

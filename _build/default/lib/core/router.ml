@@ -1,0 +1,79 @@
+open Hca_machine
+
+(* Breadth-first search over the PG for a shortest detour whose arcs are
+   all individually addable in the current flow.  On a simple path every
+   node is the destination of exactly one new arc, so individual
+   addability implies joint addability (the in-neighbour and in-port
+   budgets are per-destination). *)
+let find_path state ~src ~dst ~ii ~max_hops =
+  let flow = State.flow state in
+  let pg = Copy_flow.pg flow in
+  let n = Pattern_graph.size pg in
+  let hop_ok via =
+    (* An intermediate cluster spends one ALU slot re-emitting. *)
+    Pattern_graph.is_regular pg via
+    &&
+    let cap = (Pattern_graph.node pg via).Pattern_graph.capacity in
+    let d = State.demand state via in
+    Resource.fits
+      ~demand:(Resource.add d { Resource.alus = 1; ags = 0 })
+      ~capacity:cap ~ii
+  in
+  let prev = Array.make n (-2) in
+  prev.(src) <- -1;
+  let q = Queue.create () in
+  Queue.push (src, 0) q;
+  let found = ref false in
+  while (not !found) && not (Queue.is_empty q) do
+    let u, hops = Queue.pop q in
+    if hops < max_hops then
+      List.iter
+        (fun v ->
+          if (not !found) && prev.(v) = -2 && Copy_flow.can_add flow ~src:u ~dst:v
+          then
+            if v = dst then begin
+              prev.(v) <- u;
+              found := true
+            end
+            else if hop_ok v then begin
+              prev.(v) <- u;
+              Queue.push (v, hops + 1) q
+            end)
+        (Pattern_graph.potential_succs pg u)
+  done;
+  if not !found then None
+  else begin
+    let rec build v acc = if v = src then src :: acc else build prev.(v) (v :: acc) in
+    Some (build dst [])
+  end
+
+let route_value state ~value ~src ~dst ~ii ~max_hops =
+  match find_path state ~src ~dst ~ii ~max_hops with
+  | None -> false
+  | Some path ->
+      let flow = State.flow state in
+      let rec commit = function
+        | a :: (b :: _ as rest) ->
+            Copy_flow.add_copy flow ~src:a ~dst:b value;
+            if b <> dst then State.add_forward state ~value ~via:b;
+            commit rest
+        | [ _ ] | [] -> ()
+      in
+      commit path;
+      true
+
+let assign_with_routing state ~node ~cluster ~ii ~target_ii ~weights ~max_hops =
+  match State.force_assign state ~node ~cluster ~ii with
+  | Error _ as e -> e
+  | Ok (state', blocked) ->
+      let ok =
+        List.for_all
+          (fun (value, src, dst) ->
+            route_value state' ~value ~src ~dst ~ii ~max_hops)
+          blocked
+      in
+      if ok then begin
+        State.recompute_cost state' ~target_ii ~weights;
+        Ok state'
+      end
+      else Error "route allocator: no feasible detour"

@@ -1,0 +1,38 @@
+(** The configurable Route Allocator (§3, Fig. 6).
+
+    When the candidate filter leaves no cluster for the current node —
+    every direct assignment would violate a communication constraint —
+    the *no-candidates action* places the node on a convenient cluster
+    anyway and routes the blocked values through intermediate clusters:
+    each hop turns one cluster into a forwarder, spending one of its ALU
+    issue slots on the re-emitting move and one communication pattern
+    per arc. *)
+
+open Hca_machine
+
+val route_value :
+  State.t ->
+  value:Hca_ddg.Instr.id ->
+  src:Pattern_graph.node_id ->
+  dst:Pattern_graph.node_id ->
+  ii:int ->
+  max_hops:int ->
+  bool
+(** Find the shortest feasible detour [src -> x1 -> ... -> dst] over
+    regular clusters (every arc addable in the current flow, every
+    intermediate hop with a spare ALU slot under [ii]), commit its
+    copies and forwards into the state, and report success.  The state
+    is mutated only on success. *)
+
+val assign_with_routing :
+  State.t ->
+  node:int ->
+  cluster:Pattern_graph.node_id ->
+  ii:int ->
+  target_ii:int ->
+  weights:Cost.weights ->
+  max_hops:int ->
+  (State.t, string) result
+(** Like {!State.try_assign} but falls back to {!route_value} for every
+    neighbour the direct arc cannot serve.  Returns the successor state
+    (input state untouched). *)

@@ -1,0 +1,203 @@
+type outcome = {
+  state : State.t;
+  alternatives : State.t list;
+  explored : int;
+  routed : int;
+}
+
+(* Priority list of unassigned nodes, computed once per subproblem: the
+   exploration picks nodes in this fixed order so that all the partial
+   solutions of a frontier talk about the same prefix of the list.
+
+   Nodes wired to an output port jump the queue, grouped by port: a port
+   accepts a single real in-arc, so its feeders must agree on a cluster
+   — a constraint best surfaced while the resource tables are empty
+   (Fig. 10 shows exactly this forced co-location). *)
+let out_port_group problem id =
+  List.fold_left
+    (fun acc (e : Problem.edge) ->
+      let dst = Problem.node problem e.dst in
+      match dst.Problem.pinned with
+      | Some _ when Problem.succs problem e.dst = [] -> min acc e.dst
+      | _ -> acc)
+    max_int
+    (Problem.succs problem id)
+
+let priority_order config problem ~ii =
+  let free = Problem.free_nodes problem in
+  let group = out_port_group problem in
+  match config.Config.priority with
+  | Config.Affinity ->
+      let capacity =
+        let regs = Hca_machine.Pattern_graph.regular_nodes (Problem.pg problem) in
+        match regs with
+        | [] -> 1
+        | nd :: _ -> max 1 (Hca_machine.Resource.issue_slots nd.capacity * ii)
+      in
+      let region = Regions.partition problem ~capacity in
+      let h = Problem.height problem in
+      let key id = (region.(id), group id, -h.(id), id) in
+      (List.stable_sort (fun a b -> compare (key a) (key b)) free, Some region)
+  | Config.Source_order -> (free, None)
+  | Config.Topological ->
+      (* Producers before consumers: ASAP cycle ascending, id tie-break. *)
+      let d = Problem.depth problem in
+      (List.stable_sort (fun a b -> compare (d.(a), a) (d.(b), b)) free, None)
+  | Config.Criticality ->
+      let h = Problem.height problem in
+      (* Port feeders first (per port), then most critical first; ties:
+         more demanding node first, then id. *)
+      let key id =
+        let nd = Problem.node problem id in
+        (group id, -h.(id), -(nd.Problem.demand.alus + nd.Problem.demand.ags), id)
+      in
+      (List.stable_sort (fun a b -> compare (key a) (key b)) free, None)
+
+let candidate_clusters problem =
+  Hca_machine.Pattern_graph.regular_nodes (Problem.pg problem)
+  |> List.map (fun (nd : Hca_machine.Pattern_graph.node) -> nd.id)
+
+let take n l =
+  let rec go n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: tl -> x :: go (n - 1) tl
+  in
+  go n l
+
+let solve ?(config = Config.default) ?target_ii ?(backbone = []) problem ~ii =
+  let target_ii = Option.value ~default:ii target_ii in
+  let weights = config.Config.weights in
+  let order, region_of = priority_order config problem ~ii in
+  (* Region-tear lookahead: how many nodes of the current node's region
+     are still unplaced at each position of the priority list. *)
+  let remaining_region =
+    match region_of with
+    | None -> Array.make (List.length order) 0
+    | Some region ->
+        let arr = Array.of_list order in
+        let n = Array.length arr in
+        let rem = Array.make n 0 in
+        let counts = Hashtbl.create 16 in
+        for i = n - 1 downto 0 do
+          let r = region.(arr.(i)) in
+          let c = 1 + Option.value ~default:0 (Hashtbl.find_opt counts r) in
+          Hashtbl.replace counts r c;
+          rem.(i) <- c
+        done;
+        rem
+  in
+  let clusters = candidate_clusters problem in
+  let explored = ref 1 and routed = ref 0 in
+  let expand ~tail_of_region node state =
+    let penalise st c =
+      let deficit =
+        tail_of_region - 1 - State.free_issue_slots st ~cluster:c ~ii
+      in
+      if deficit > 0 then
+        State.add_penalty st (weights.Cost.w_tear *. float_of_int deficit)
+    in
+    let candidates =
+      List.filter_map
+        (fun c ->
+          match State.try_assign state ~node ~cluster:c ~ii ~target_ii ~weights with
+          | Ok st ->
+              incr explored;
+              penalise st c;
+              Some st
+          | Error _ -> None)
+        clusters
+    in
+    match candidates with
+    | _ :: _ -> candidates
+    | [] when config.Config.enable_router ->
+        (* No-candidates action: try the Route Allocator towards every
+           cluster, cheapest resulting state first. *)
+        List.filter_map
+          (fun c ->
+            match
+              Router.assign_with_routing state ~node ~cluster:c ~ii ~target_ii
+                ~weights ~max_hops:config.Config.max_route_hops
+            with
+            | Ok st ->
+                incr explored;
+                incr routed;
+                Some st
+            | Error _ -> None)
+          clusters
+    | [] -> []
+  in
+  let by_cost a b = compare (State.cost a) (State.cost b) in
+  let rec loop pos frontier = function
+    | [] -> (
+        match List.sort by_cost frontier with
+        | best :: rest ->
+            Ok
+              {
+                state = best;
+                alternatives = rest;
+                explored = !explored;
+                routed = !routed;
+              }
+        | [] -> Error (Problem.name problem ^ ": empty frontier"))
+    | node :: rest ->
+        let tail_of_region = remaining_region.(pos) in
+        let children =
+          List.concat_map
+            (fun st ->
+              take config.Config.candidate_width
+                (List.sort by_cost (expand ~tail_of_region node st)))
+            frontier
+        in
+        (match children with
+        | [] ->
+            let pg = Problem.pg problem in
+            let diagnosis =
+              match frontier with
+              | [] -> ""
+              | st :: _ ->
+                  let per_cluster =
+                    List.map
+                      (fun c ->
+                        match
+                          State.try_assign st ~node ~cluster:c ~ii ~target_ii
+                            ~weights
+                        with
+                        | Ok _ -> Printf.sprintf "@%d: ok?!" c
+                        | Error m -> Printf.sprintf "@%d: %s" c m)
+                      clusters
+                  in
+                  " | " ^ String.concat "; " per_cluster
+            in
+            Error
+              (Printf.sprintf
+                 "%s: no candidates for node %s at II=%d (pg: %d regular, %d \
+                  in-ports [%s], %d out-ports [%s], max_in=%d)%s"
+                 (Problem.name problem)
+                 (Problem.node problem node).Problem.label ii
+                 (List.length (Hca_machine.Pattern_graph.regular_nodes pg))
+                 (List.length (Hca_machine.Pattern_graph.in_ports pg))
+                 (String.concat ";"
+                    (List.map
+                       (fun nd ->
+                         string_of_int
+                           (List.length
+                              (Hca_machine.Pattern_graph.port_values nd)))
+                       (Hca_machine.Pattern_graph.in_ports pg)))
+                 (List.length (Hca_machine.Pattern_graph.out_ports pg))
+                 (String.concat ";"
+                    (List.map
+                       (fun nd ->
+                         string_of_int
+                           (List.length
+                              (Hca_machine.Pattern_graph.port_values nd)))
+                       (Hca_machine.Pattern_graph.out_ports pg)))
+                 (Hca_machine.Pattern_graph.max_in pg)
+                 diagnosis)
+        | _ ->
+            let frontier' =
+              take config.Config.beam_width (List.sort by_cost children)
+            in
+            loop (pos + 1) frontier' rest)
+  in
+  loop 0 [ State.create ~backbone problem ] order

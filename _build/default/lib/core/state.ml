@@ -1,0 +1,243 @@
+open Hca_ddg
+open Hca_machine
+
+type t = {
+  problem : Problem.t;
+  place : int array;  (* problem node -> PG node, -1 when unassigned *)
+  flow : Copy_flow.t;
+  dem : Resource.t array;  (* per PG node *)
+  mutable fwds : (Instr.id * Pattern_graph.node_id) list;
+  mutable carried_cuts : int;
+  mutable cost_v : float;
+  mutable extra_cost : float;
+  mutable assigned : int;
+}
+
+let create ?(backbone = []) problem =
+  let pg = Problem.pg problem in
+  let n = Problem.size problem in
+  let place = Array.make n (-1) in
+  let assigned = ref 0 in
+  Array.iter
+    (fun (nd : Problem.node) ->
+      match nd.pinned with
+      | Some c ->
+          place.(nd.id) <- c;
+          incr assigned
+      | None -> ())
+    (Problem.nodes problem);
+  let flow = Copy_flow.create ~max_in_ports:(Problem.max_in_ports problem) pg in
+  List.iter (fun (src, dst) -> Copy_flow.reserve_neighbor flow ~src ~dst) backbone;
+  {
+    problem;
+    place;
+    flow;
+    dem = Array.make (Pattern_graph.size pg) Resource.zero;
+    fwds = [];
+    carried_cuts = 0;
+    cost_v = 0.0;
+    extra_cost = 0.0;
+    assigned = !assigned;
+  }
+
+let problem t = t.problem
+
+let clone t =
+  {
+    t with
+    place = Array.copy t.place;
+    flow = Copy_flow.clone t.flow;
+    dem = Array.copy t.dem;
+  }
+
+let placement t id = if t.place.(id) < 0 then None else Some t.place.(id)
+
+let is_complete t = t.assigned = Problem.size t.problem
+
+let assigned_count t = t.assigned
+
+let flow t = t.flow
+
+let demand t c = t.dem.(c)
+
+let cluster_nodes t c =
+  let acc = ref [] in
+  for id = Array.length t.place - 1 downto 0 do
+    if t.place.(id) = c then acc := id :: !acc
+  done;
+  !acc
+
+let forwards t = t.fwds
+
+let ceil_div a b = (a + b - 1) / b
+
+let summary t ~ii =
+  let pg = Problem.pg t.problem in
+  let regs = Pattern_graph.regular_nodes pg in
+  let max_util = ref 0.0 and min_util = ref infinity in
+  let projected = ref 1 in
+  let fanin_sat = ref 0.0 in
+  List.iter
+    (fun (nd : Pattern_graph.node) ->
+      let cap = nd.capacity in
+      let d = t.dem.(nd.id) in
+      let slots = cap.Resource.alus + cap.Resource.ags in
+      if slots > 0 then begin
+        let used = d.Resource.alus + d.Resource.ags in
+        let util = float_of_int used /. float_of_int (slots * ii) in
+        if util > !max_util then max_util := util;
+        if util < !min_util then min_util := util
+      end;
+      let in_p = Copy_flow.in_pressure t.flow nd.id in
+      projected := max !projected (Resource.min_ii ~demand:d ~capacity:cap);
+      if cap.Resource.alus > 0 then
+        projected :=
+          max !projected (ceil_div (d.Resource.alus + in_p) cap.Resource.alus);
+      if in_p > 0 then
+        projected := max !projected (ceil_div in_p (Pattern_graph.max_in pg));
+      let sat =
+        float_of_int (List.length (Copy_flow.real_in_neighbors t.flow nd.id))
+        /. float_of_int (Pattern_graph.max_in pg)
+      in
+      fanin_sat := !fanin_sat +. (sat *. sat))
+    regs;
+  let min_util = if !min_util = infinity then 0.0 else !min_util in
+  {
+    Cost.copies = Copy_flow.copy_count t.flow;
+    max_util = !max_util;
+    util_spread = !max_util -. min_util;
+    projected_ii = !projected;
+    target_ii = ii;
+    used_in_ports = List.length (Copy_flow.used_in_ports t.flow);
+    fanin_sat = !fanin_sat;
+    carried_cuts = t.carried_cuts;
+  }
+
+let cost t = t.cost_v +. t.extra_cost
+
+let add_penalty t p = t.extra_cost <- t.extra_cost +. p
+
+let free_issue_slots t ~cluster ~ii =
+  let cap = (Pattern_graph.node (Problem.pg t.problem) cluster).capacity in
+  let d = t.dem.(cluster) in
+  (Resource.issue_slots cap * ii) - (d.Resource.alus + d.Resource.ags)
+
+let recompute_cost t ~target_ii ~weights =
+  t.cost_v <- Cost.score weights (summary t ~ii:target_ii)
+
+let same_circuit t a b =
+  let scc = Problem.scc_of t.problem in
+  scc.(a) >= 0 && scc.(a) = scc.(b)
+
+let try_assign t ~node ~cluster ~ii ~target_ii ~weights =
+  let nd = Problem.node t.problem node in
+  if t.place.(node) >= 0 then Error "node already assigned"
+  else if not (Pattern_graph.is_regular (Problem.pg t.problem) cluster) then
+    Error "target is not a regular cluster"
+  else
+    let capacity = (Pattern_graph.node (Problem.pg t.problem) cluster).capacity in
+    let demand' = Resource.add t.dem.(cluster) nd.demand in
+    if not (Resource.fits ~demand:demand' ~capacity ~ii) then
+      Error "resource table exhausted under target II"
+    else begin
+      let t' = clone t in
+      t'.place.(node) <- cluster;
+      t'.dem.(cluster) <- demand';
+      t'.assigned <- t'.assigned + 1;
+      let route ~src ~dst ~carried value =
+        if src = dst then Ok ()
+        else if Copy_flow.can_add t'.flow ~src ~dst then begin
+          Copy_flow.add_copy t'.flow ~src ~dst value;
+          if carried then t'.carried_cuts <- t'.carried_cuts + 1;
+          Ok ()
+        end
+        else Error (Printf.sprintf "no communication pattern %d->%d" src dst)
+      in
+      let exception Blocked of string in
+      try
+        List.iter
+          (fun (e : Problem.edge) ->
+            let s = t'.place.(e.src) in
+            if s >= 0 then
+              match
+                route ~src:s ~dst:cluster
+                  ~carried:(e.distance > 0 || same_circuit t e.src e.dst)
+                  e.value
+              with
+              | Ok () -> ()
+              | Error m -> raise (Blocked m))
+          (Problem.preds t.problem node);
+        List.iter
+          (fun (e : Problem.edge) ->
+            let d = t'.place.(e.dst) in
+            if d >= 0 then
+              match
+                route ~src:cluster ~dst:d
+                  ~carried:(e.distance > 0 || same_circuit t e.src e.dst)
+                  e.value
+              with
+              | Ok () -> ()
+              | Error m -> raise (Blocked m))
+          (Problem.succs t.problem node);
+        recompute_cost t' ~target_ii ~weights;
+        Ok t'
+      with Blocked m -> Error m
+    end
+
+let force_assign t ~node ~cluster ~ii =
+  let nd = Problem.node t.problem node in
+  if t.place.(node) >= 0 then Error "node already assigned"
+  else if not (Pattern_graph.is_regular (Problem.pg t.problem) cluster) then
+    Error "target is not a regular cluster"
+  else
+    let capacity = (Pattern_graph.node (Problem.pg t.problem) cluster).capacity in
+    let demand' = Resource.add t.dem.(cluster) nd.demand in
+    if not (Resource.fits ~demand:demand' ~capacity ~ii) then
+      Error "resource table exhausted under target II"
+    else begin
+      let t' = clone t in
+      t'.place.(node) <- cluster;
+      t'.dem.(cluster) <- demand';
+      t'.assigned <- t'.assigned + 1;
+      let blocked = ref [] in
+      let route ~src ~dst ~carried value =
+        if src <> dst then
+          if Copy_flow.can_add t'.flow ~src ~dst then begin
+            Copy_flow.add_copy t'.flow ~src ~dst value;
+            if carried then t'.carried_cuts <- t'.carried_cuts + 1
+          end
+          else blocked := (value, src, dst) :: !blocked
+      in
+      List.iter
+        (fun (e : Problem.edge) ->
+          let s = t'.place.(e.src) in
+          if s >= 0 then
+            route ~src:s ~dst:cluster
+              ~carried:(e.distance > 0 || same_circuit t e.src e.dst)
+              e.value)
+        (Problem.preds t.problem node);
+      List.iter
+        (fun (e : Problem.edge) ->
+          let d = t'.place.(e.dst) in
+          if d >= 0 then
+            route ~src:cluster ~dst:d
+              ~carried:(e.distance > 0 || same_circuit t e.src e.dst)
+              e.value)
+        (Problem.succs t.problem node);
+      Ok (t', List.rev !blocked)
+    end
+
+let add_forward t ~value ~via =
+  t.dem.(via) <- Resource.add t.dem.(via) { Resource.alus = 1; ags = 0 };
+  t.fwds <- (value, via) :: t.fwds
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>state (%d/%d assigned, cost %.2f)" t.assigned
+    (Problem.size t.problem) t.cost_v;
+  Array.iteri
+    (fun id c ->
+      if c >= 0 then
+        Format.fprintf ppf "@,  %s -> @%d"
+          (Problem.node t.problem id).Problem.label c)
+    t.place;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,96 @@
+(** A partial solution of the Space Exploration Engine: the node of the
+    exploration space of Fig. 5.
+
+    A state owns a placement map (problem node -> PG node), the copy
+    flow routed so far, per-cluster demand accumulators, and the list of
+    detour forwards the Route Allocator has injected.  Moving from one
+    partial solution to another ({!try_assign}) clones the state, so
+    siblings in the beam never alias. *)
+
+open Hca_ddg
+open Hca_machine
+
+type t
+
+val create : ?backbone:(Pattern_graph.node_id * Pattern_graph.node_id) list -> Problem.t -> t
+(** Fresh state with the port pseudo nodes already pinned to their PG
+    nodes.  [backbone] arcs get their in-neighbour slots pre-committed
+    ({!Hca_machine.Copy_flow.reserve_neighbor}): the leaf quads use a
+    ring so that any value can always reach any CN by forwarding. *)
+
+val problem : t -> Problem.t
+
+val clone : t -> t
+
+(** {1 Placement} *)
+
+val placement : t -> int -> Pattern_graph.node_id option
+
+val is_complete : t -> bool
+
+val assigned_count : t -> int
+
+val try_assign :
+  t ->
+  node:int ->
+  cluster:Pattern_graph.node_id ->
+  ii:int ->
+  target_ii:int ->
+  weights:Cost.weights ->
+  (t, string) result
+(** [isAssignable] + move: checks the resource table of [cluster] under
+    the capacity window [ii], routes the copies towards/from every
+    already-placed neighbour of [node] (same-cluster neighbours need
+    none), and returns the successor state with its cost updated.
+    [target_ii] is the II the objective function aims at — usually the
+    kernel's iniMII, which may be below the capacity window when the
+    driver had to relax [ii] for feasibility.  The input state is not
+    modified. *)
+
+val force_assign :
+  t ->
+  node:int ->
+  cluster:Pattern_graph.node_id ->
+  ii:int ->
+  (t * (Instr.id * Pattern_graph.node_id * Pattern_graph.node_id) list, string)
+  result
+(** Like {!try_assign} but a direct arc that cannot be added does not
+    fail the move: the blocked [(value, src, dst)] triples are returned
+    for the Route Allocator to detour.  Resource exhaustion still
+    fails.  The cost of the returned state is {e not} final until the
+    router commits or rejects the detours. *)
+
+val add_forward : t -> value:Instr.id -> via:Pattern_graph.node_id -> unit
+(** Route-Allocator hook: accounts one forwarding move (one ALU slot) on
+    [via] and records it.  The caller checks capacity against its target
+    II before committing. *)
+
+val forwards : t -> (Instr.id * Pattern_graph.node_id) list
+(** Detour forwards injected by the Route Allocator, newest first. *)
+
+(** {1 Views} *)
+
+val flow : t -> Copy_flow.t
+
+val demand : t -> Pattern_graph.node_id -> Resource.t
+
+val cluster_nodes : t -> Pattern_graph.node_id -> int list
+(** Problem nodes placed on a cluster, oldest first. *)
+
+val summary : t -> ii:int -> Cost.summary
+
+val cost : t -> float
+(** Cached {!Cost.score} of the current partial solution, plus the
+    accumulated search penalties ({!add_penalty}). *)
+
+val add_penalty : t -> float -> unit
+(** Permanently worsens this state's cost: used by the SEE for
+    lookahead terms (e.g. region tearing) that the per-state summary
+    cannot see. *)
+
+val free_issue_slots : t -> cluster:Pattern_graph.node_id -> ii:int -> int
+(** Remaining issue capacity of a cluster under the window [ii]. *)
+
+val recompute_cost : t -> target_ii:int -> weights:Cost.weights -> unit
+
+val pp : Format.formatter -> t -> unit

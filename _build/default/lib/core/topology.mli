@@ -1,0 +1,39 @@
+(** The final reconfiguration program (§2: "the compiler must select a
+    sub-set of feasible cluster connections for data flowing, and emit
+    the reconfiguration instructions for activating the selected wires").
+
+    Walks the solved hierarchy and linearises every selected wire into a
+    flat list of configuration entries — what a runtime loader would
+    write into the MUX select registers before starting the loop. *)
+
+open Hca_ddg
+
+type entry = {
+  path : int list;  (** subproblem the wire lives in ([[]] = level 0) *)
+  owner : int;  (** cluster (set or CN index) owning the output wire *)
+  wire : int;  (** wire index within the owner *)
+  sinks : int list;  (** sibling clusters listening to the wire *)
+  uplink : int option;  (** father wire label this wire also feeds, if any *)
+  values : Instr.id list;  (** payload, for diagnostics *)
+}
+
+type t = {
+  machine : string;
+  kernel : string;
+  entries : entry list;
+}
+
+val of_result : Hierarchy.t -> t
+
+val wire_count : t -> int
+(** Configured (selected) wires — the paper's "feasible topology" size. *)
+
+val select_count : t -> int
+(** Individual MUX selects: one per (wire, sink) pair plus one per
+    uplink — the length of the reconfiguration program. *)
+
+val to_string : t -> string
+(** One line per entry:
+    [at 0,2: set1.w0 -> sets [0,3] up w2 carrying [%5,%9]]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/ddg/ddg.ml: Array Format Hca_util Instr List Opcode

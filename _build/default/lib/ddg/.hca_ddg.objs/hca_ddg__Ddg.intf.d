@@ -1,0 +1,1 @@
+lib/ddg/ddg.mli: Format Instr Opcode

@@ -1,0 +1,1 @@
+lib/ddg/ddg_io.ml: Array Buffer Ddg Fun Hashtbl Instr List Opcode Printf String

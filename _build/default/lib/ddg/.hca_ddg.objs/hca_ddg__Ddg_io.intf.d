@@ -1,0 +1,1 @@
+lib/ddg/ddg_io.mli: Ddg Instr

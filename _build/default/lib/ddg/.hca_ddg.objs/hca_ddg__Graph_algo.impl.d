@@ -1,0 +1,1 @@
+lib/ddg/graph_algo.ml: Array Ddg Hashtbl Hca_util Int List Set

@@ -1,0 +1,1 @@
+lib/ddg/graph_algo.mli: Ddg Instr

@@ -1,0 +1,1 @@
+lib/ddg/mii.ml: Array Ddg Graph_algo Hashtbl Instr List Opcode

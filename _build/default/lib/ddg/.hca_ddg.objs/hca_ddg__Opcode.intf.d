@@ -1,0 +1,1 @@
+lib/ddg/opcode.mli: Format

@@ -1,0 +1,137 @@
+let to_string g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("ddg " ^ Ddg.name g ^ "\n");
+  Array.iter
+    (fun (i : Instr.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "i %d %s %s\n" i.id (Opcode.mnemonic i.opcode) i.name))
+    (Ddg.instrs g);
+  Array.iter
+    (fun (e : Ddg.edge) ->
+      Buffer.add_string buf
+        (Printf.sprintf "e %d %d %d %d\n" e.src e.dst e.latency e.distance))
+    (Ddg.edges g);
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let b = ref None in
+  let err lineno msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+  let exception Fail of (Ddg.t, string) result in
+  try
+    List.iteri
+      (fun idx line ->
+        let lineno = idx + 1 in
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then ()
+        else
+          let fields =
+            String.split_on_char ' ' line |> List.filter (fun f -> f <> "")
+          in
+          match fields with
+          | "ddg" :: rest ->
+              let name = String.concat " " rest in
+              if !b <> None then
+                raise (Fail (err lineno "duplicate ddg header"))
+              else b := Some (Ddg.Builder.create ~name ())
+          | "i" :: id :: mnem :: rest -> (
+              match (!b, int_of_string_opt id, Opcode.of_mnemonic mnem) with
+              | None, _, _ -> raise (Fail (err lineno "instr before header"))
+              | _, None, _ -> raise (Fail (err lineno "bad instr id"))
+              | _, _, None -> raise (Fail (err lineno ("bad opcode " ^ mnem)))
+              | Some b, Some id, Some op ->
+                  let name =
+                    match rest with [] -> None | _ -> Some (String.concat " " rest)
+                  in
+                  let got = Ddg.Builder.add_instr b ?name op in
+                  if got <> id then
+                    raise (Fail (err lineno "non-dense instruction ids")))
+          | [ "e"; src; dst; lat; dist ] -> (
+              match
+                ( !b,
+                  int_of_string_opt src,
+                  int_of_string_opt dst,
+                  int_of_string_opt lat,
+                  int_of_string_opt dist )
+              with
+              | Some b, Some src, Some dst, Some lat, Some dist -> (
+                  try Ddg.Builder.add_dep b ~latency:lat ~distance:dist ~src ~dst
+                  with Invalid_argument m -> raise (Fail (err lineno m)))
+              | None, _, _, _, _ ->
+                  raise (Fail (err lineno "edge before header"))
+              | _ -> raise (Fail (err lineno "bad edge fields")))
+          | _ -> raise (Fail (err lineno ("unrecognised record: " ^ line))))
+      lines;
+    match !b with
+    | None -> Error "empty input: missing ddg header"
+    | Some b -> (
+        try Ok (Ddg.Builder.freeze b)
+        with Invalid_argument m -> Error m)
+  with Fail r -> r
+
+let dot_escape s =
+  String.concat "\\\"" (String.split_on_char '"' s)
+
+let to_dot ?cluster_of g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (dot_escape (Ddg.name g)));
+  Buffer.add_string buf "  node [shape=box, fontsize=10];\n";
+  let emit_node (i : Instr.t) =
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=\"%s\\n%s\"];\n" i.id (dot_escape i.name)
+         (Opcode.mnemonic i.opcode))
+  in
+  (match cluster_of with
+  | None -> Array.iter emit_node (Ddg.instrs g)
+  | Some f ->
+      let groups = Hashtbl.create 8 in
+      Array.iter
+        (fun (i : Instr.t) ->
+          let key = f i.id in
+          let cur = try Hashtbl.find groups key with Not_found -> [] in
+          Hashtbl.replace groups key (i :: cur))
+        (Ddg.instrs g);
+      let keys =
+        Hashtbl.fold (fun k _ acc -> k :: acc) groups [] |> List.sort compare
+      in
+      List.iteri
+        (fun gi key ->
+          let members = List.rev (Hashtbl.find groups key) in
+          match key with
+          | None -> List.iter emit_node members
+          | Some label ->
+              Buffer.add_string buf
+                (Printf.sprintf "  subgraph cluster_%d {\n    label=\"%s\";\n"
+                   gi (dot_escape label));
+              List.iter
+                (fun (i : Instr.t) ->
+                  Buffer.add_string buf
+                    (Printf.sprintf "    n%d [label=\"%s\\n%s\"];\n" i.id
+                       (dot_escape i.name)
+                       (Opcode.mnemonic i.opcode)))
+                members;
+              Buffer.add_string buf "  }\n")
+        keys);
+  Array.iter
+    (fun (e : Ddg.edge) ->
+      if e.distance = 0 then
+        Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" e.src e.dst)
+      else
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d -> n%d [style=dashed, label=\"%d\"];\n" e.src
+             e.dst e.distance))
+    (Ddg.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

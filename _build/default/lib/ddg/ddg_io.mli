@@ -1,0 +1,24 @@
+(** Serialisation of DDGs: a line-oriented text format (round-trippable)
+    and Graphviz DOT output for inspection.
+
+    Text format, one record per line, ['#'] comments allowed:
+    {v
+    ddg <name>
+    i <id> <mnemonic> <name>
+    e <src> <dst> <latency> <distance>
+    v}
+    Instruction ids must be dense and in order (the parser checks). *)
+
+val to_string : Ddg.t -> string
+
+val of_string : string -> (Ddg.t, string) result
+(** Error message carries the offending line number. *)
+
+val to_dot : ?cluster_of:(Instr.id -> string option) -> Ddg.t -> string
+(** DOT digraph; loop-carried edges are dashed and labelled with their
+    distance.  [cluster_of] optionally groups nodes into subgraph
+    clusters (used to visualise an assignment). *)
+
+val write_file : string -> Ddg.t -> unit
+
+val read_file : string -> (Ddg.t, string) result

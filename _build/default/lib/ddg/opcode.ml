@@ -1,0 +1,110 @@
+type t =
+  | Add
+  | Sub
+  | Mul
+  | Mac
+  | Shl
+  | Shr
+  | And_
+  | Or_
+  | Xor
+  | Min
+  | Max
+  | Abs
+  | Clip
+  | Cmp
+  | Sel
+  | Mov
+  | Const of int
+  | Load
+  | Store
+  | Agen
+  | Recv
+
+type unit_class = Alu | Ag
+
+let unit_class = function
+  | Load | Store | Agen -> Ag
+  | Add | Sub | Mul | Mac | Shl | Shr | And_ | Or_ | Xor | Min | Max | Abs
+  | Clip | Cmp | Sel | Mov | Const _ | Recv ->
+      Alu
+
+let is_memory = function
+  | Load | Store -> true
+  | Add | Sub | Mul | Mac | Shl | Shr | And_ | Or_ | Xor | Min | Max | Abs
+  | Clip | Cmp | Sel | Mov | Const _ | Agen | Recv ->
+      false
+
+let latency = function
+  | Mul | Mac -> 2
+  | Load -> 3
+  | Store -> 1
+  | Add | Sub | Shl | Shr | And_ | Or_ | Xor | Min | Max | Abs | Clip | Cmp
+  | Sel | Mov | Const _ | Agen ->
+      1
+  | Recv -> 1
+
+let mnemonic = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Mac -> "mac"
+  | Shl -> "shl"
+  | Shr -> "shr"
+  | And_ -> "and"
+  | Or_ -> "or"
+  | Xor -> "xor"
+  | Min -> "min"
+  | Max -> "max"
+  | Abs -> "abs"
+  | Clip -> "clip"
+  | Cmp -> "cmp"
+  | Sel -> "sel"
+  | Mov -> "mov"
+  | Const k -> "const:" ^ string_of_int k
+  | Load -> "load"
+  | Store -> "store"
+  | Agen -> "agen"
+  | Recv -> "recv"
+
+let of_mnemonic s =
+  match s with
+  | "add" -> Some Add
+  | "sub" -> Some Sub
+  | "mul" -> Some Mul
+  | "mac" -> Some Mac
+  | "shl" -> Some Shl
+  | "shr" -> Some Shr
+  | "and" -> Some And_
+  | "or" -> Some Or_
+  | "xor" -> Some Xor
+  | "min" -> Some Min
+  | "max" -> Some Max
+  | "abs" -> Some Abs
+  | "clip" -> Some Clip
+  | "cmp" -> Some Cmp
+  | "sel" -> Some Sel
+  | "mov" -> Some Mov
+  | "load" -> Some Load
+  | "store" -> Some Store
+  | "agen" -> Some Agen
+  | "recv" -> Some Recv
+  | _ ->
+      if String.length s > 6 && String.sub s 0 6 = "const:" then
+        match int_of_string_opt (String.sub s 6 (String.length s - 6)) with
+        | Some k -> Some (Const k)
+        | None -> None
+      else None
+
+let equal a b =
+  match (a, b) with
+  | Const x, Const y -> x = y
+  | _ -> a = b
+
+let pp ppf op = Format.pp_print_string ppf (mnemonic op)
+
+let all =
+  [
+    Add; Sub; Mul; Mac; Shl; Shr; And_; Or_; Xor; Min; Max; Abs; Clip; Cmp;
+    Sel; Mov; Const 0; Load; Store; Agen; Recv;
+  ]

@@ -1,0 +1,57 @@
+(** Operation set of the loop-kernel IR.
+
+    The DSPFabric computation nodes (CNs) of the paper are single-issue
+    machines exposing an ALU and an Address Generator (AG) towards the
+    programmable DMA.  Every opcode therefore consumes either the ALU or
+    the AG of the cluster it is assigned to; memory operations
+    additionally consume one of the globally shared DMA request ports. *)
+
+type t =
+  | Add
+  | Sub
+  | Mul
+  | Mac  (** multiply-accumulate, the FIR/IDCT workhorse *)
+  | Shl
+  | Shr
+  | And_
+  | Or_
+  | Xor
+  | Min
+  | Max
+  | Abs
+  | Clip  (** saturation, used by deblocking and interpolation *)
+  | Cmp
+  | Sel  (** predicated select, the if-conversion primitive *)
+  | Mov
+  | Const of int
+  | Load  (** DMA read request; result arrives in the register file *)
+  | Store  (** DMA write request *)
+  | Agen  (** explicit address computation on the AG *)
+  | Recv  (** inter-cluster receive primitive, inserted after HCA *)
+
+(** Functional-unit class consumed on the owning cluster. *)
+type unit_class = Alu | Ag
+
+val unit_class : t -> unit_class
+(** [Load]/[Store]/[Agen] execute on the AG; everything else (including
+    [Recv], which occupies an issue slot of the receiving CN) on the ALU. *)
+
+val is_memory : t -> bool
+(** True for the opcodes that consume a DMA request port. *)
+
+val latency : t -> int
+(** Producer latency in cycles: number of cycles before a consumer on the
+    same cluster may issue.  Memory operations report the DMA round-trip
+    used by the model. *)
+
+val mnemonic : t -> string
+
+val of_mnemonic : string -> t option
+(** Inverse of {!mnemonic}; [Const] parses from ["const:<k>"]. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val all : t list
+(** One representative of every constructor (with [Const 0]). *)

@@ -1,0 +1,1 @@
+lib/kernels/extended.ml: Hca_ddg Kbuild List Opcode Printf

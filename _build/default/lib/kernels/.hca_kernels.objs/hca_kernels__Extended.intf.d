@@ -1,0 +1,1 @@
+lib/kernels/extended.mli: Hca_ddg

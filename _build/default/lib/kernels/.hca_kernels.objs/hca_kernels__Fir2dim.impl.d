@@ -1,0 +1,1 @@
+lib/kernels/fir2dim.ml: Hca_ddg Kbuild List Opcode Printf

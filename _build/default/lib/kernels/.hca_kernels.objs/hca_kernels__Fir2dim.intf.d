@@ -1,0 +1,1 @@
+lib/kernels/fir2dim.mli: Hca_ddg

@@ -1,0 +1,1 @@
+lib/kernels/h264deblock.ml: Hca_ddg Kbuild Opcode Printf

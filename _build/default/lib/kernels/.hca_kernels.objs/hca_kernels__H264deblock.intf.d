@@ -1,0 +1,1 @@
+lib/kernels/h264deblock.mli: Hca_ddg

@@ -1,0 +1,1 @@
+lib/kernels/idcthor.ml: Hca_ddg Kbuild List Opcode Printf

@@ -1,0 +1,1 @@
+lib/kernels/idcthor.mli: Hca_ddg

@@ -1,0 +1,1 @@
+lib/kernels/kbuild.ml: Ddg Hca_ddg Instr List Opcode

@@ -1,0 +1,1 @@
+lib/kernels/kbuild.mli: Ddg Hca_ddg Instr Opcode

@@ -1,0 +1,1 @@
+lib/kernels/mpeg2inter.ml: Hca_ddg Kbuild Opcode Printf

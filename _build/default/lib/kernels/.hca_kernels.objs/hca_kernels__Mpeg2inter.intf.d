@@ -1,0 +1,1 @@
+lib/kernels/mpeg2inter.mli: Hca_ddg

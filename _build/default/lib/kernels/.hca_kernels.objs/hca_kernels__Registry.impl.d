@@ -1,0 +1,1 @@
+lib/kernels/registry.ml: Extended Fir2dim H264deblock Idcthor List Mpeg2inter

@@ -1,0 +1,1 @@
+lib/kernels/synthetic.ml: Array Hca_ddg Hca_util Kbuild List Opcode Printf

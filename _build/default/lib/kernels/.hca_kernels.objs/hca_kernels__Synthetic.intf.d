@@ -1,0 +1,1 @@
+lib/kernels/synthetic.mli: Hca_ddg

@@ -1,0 +1,180 @@
+open Hca_ddg
+
+let fir1d () =
+  let b = Kbuild.create "fir1d" in
+  let idx = Kbuild.induction b ~name:"idx" () in
+  let taps = List.init 16 (fun i -> Kbuild.const b ~name:(Printf.sprintf "h%d" i) i) in
+  let samples =
+    List.init 16 (fun i ->
+        let addr = Kbuild.op b ~name:(Printf.sprintf "a%d" i) Opcode.Agen [ idx ] in
+        Kbuild.load b ~name:(Printf.sprintf "x%d" i) ~addr)
+  in
+  let products =
+    List.map2 (fun h x -> Kbuild.op b Opcode.Mul [ h; x ]) taps samples
+  in
+  let acc = Kbuild.reduce b Opcode.Add products in
+  let scaled = Kbuild.op b Opcode.Shr [ acc ] in
+  let sat = Kbuild.op b Opcode.Clip [ scaled ] in
+  let out = Kbuild.op b ~name:"oaddr" Opcode.Agen [ idx ] in
+  let _ = Kbuild.store b ~name:"st" ~addr:out sat in
+  Kbuild.freeze b
+
+let matmul4 () =
+  let b = Kbuild.create "matmul4" in
+  let row = Kbuild.induction b ~name:"row" () in
+  (* The current row of A, loaded once. *)
+  let a =
+    List.init 4 (fun i ->
+        let addr = Kbuild.op b ~name:(Printf.sprintf "aa%d" i) Opcode.Agen [ row ] in
+        Kbuild.load b ~name:(Printf.sprintf "a%d" i) ~addr)
+  in
+  (* B is loop-invariant: registers. *)
+  let bmat =
+    List.init 4 (fun j ->
+        List.init 4 (fun i -> Kbuild.const b ~name:(Printf.sprintf "b%d%d" i j) (i + j)))
+  in
+  List.iteri
+    (fun j bcol ->
+      let products = List.map2 (fun x y -> Kbuild.op b Opcode.Mul [ x; y ]) a bcol in
+      let dot = Kbuild.reduce b Opcode.Add products in
+      let sat = Kbuild.op b Opcode.Clip [ dot ] in
+      let addr = Kbuild.op b ~name:(Printf.sprintf "oc%d" j) Opcode.Agen [ row ] in
+      ignore (Kbuild.store b ~name:(Printf.sprintf "st%d" j) ~addr sat))
+    bmat;
+  Kbuild.freeze b
+
+let fft_stage () =
+  let b = Kbuild.create "fft_stage" in
+  let idx = Kbuild.induction b ~name:"idx" () in
+  let wr = Kbuild.const b ~name:"wr" 181 in
+  let wi = Kbuild.const b ~name:"wi" 181 in
+  let butterfly k =
+    let name fmt = Printf.sprintf fmt k in
+    let load tag =
+      let addr = Kbuild.op b ~name:(Printf.sprintf "%s_a%d" tag k) Opcode.Agen [ idx ] in
+      (addr, Kbuild.load b ~name:(Printf.sprintf "%s%d" tag k) ~addr)
+    in
+    let a_ur, ur = load "ur" in
+    let a_ui, ui = load "ui" in
+    let a_vr, vr = load "vr" in
+    let a_vi, vi = load "vi" in
+    (* t = w * v (complex) *)
+    let tr =
+      Kbuild.op b ~name:(name "tr%d") Opcode.Sub
+        [ Kbuild.op b Opcode.Mul [ vr; wr ]; Kbuild.op b Opcode.Mul [ vi; wi ] ]
+    in
+    let ti =
+      Kbuild.op b ~name:(name "ti%d") Opcode.Add
+        [ Kbuild.op b Opcode.Mul [ vr; wi ]; Kbuild.op b Opcode.Mul [ vi; wr ] ]
+    in
+    (* u' = u + t, v' = u - t *)
+    let st addr v = ignore (Kbuild.store b ~addr v) in
+    st a_ur (Kbuild.op b Opcode.Shr [ Kbuild.op b Opcode.Add [ ur; tr ] ]);
+    st a_ui (Kbuild.op b Opcode.Shr [ Kbuild.op b Opcode.Add [ ui; ti ] ]);
+    st a_vr (Kbuild.op b Opcode.Shr [ Kbuild.op b Opcode.Sub [ ur; tr ] ]);
+    st a_vi (Kbuild.op b Opcode.Shr [ Kbuild.op b Opcode.Sub [ ui; ti ] ])
+  in
+  for k = 0 to 3 do
+    butterfly k
+  done;
+  Kbuild.freeze b
+
+let rgb2ycc () =
+  let b = Kbuild.create "rgb2ycc" in
+  let idx = Kbuild.induction b ~name:"idx" () in
+  let coeffs = List.init 9 (fun i -> Kbuild.const b ~name:(Printf.sprintf "c%d" i) i) in
+  let half = Kbuild.const b ~name:"half" 128 in
+  let pixel p =
+    let load tag =
+      let addr =
+        Kbuild.op b ~name:(Printf.sprintf "%s_a%d" tag p) Opcode.Agen [ idx ]
+      in
+      Kbuild.load b ~name:(Printf.sprintf "%s%d" tag p) ~addr
+    in
+    let r = load "r" and g = load "g" and bl = load "b" in
+    List.iteri
+      (fun plane cs ->
+        match cs with
+        | [ cr; cg; cb ] ->
+            let v =
+              Kbuild.reduce b Opcode.Add
+                [
+                  Kbuild.op b Opcode.Mul [ r; cr ];
+                  Kbuild.op b Opcode.Mul [ g; cg ];
+                  Kbuild.op b Opcode.Mul [ bl; cb ];
+                ]
+            in
+            let v = Kbuild.op b Opcode.Add [ v; half ] in
+            let v = Kbuild.op b Opcode.Shr [ v ] in
+            let v = Kbuild.op b Opcode.Clip [ v ] in
+            let addr =
+              Kbuild.op b
+                ~name:(Printf.sprintf "o%d_%d" plane p)
+                Opcode.Agen [ idx ]
+            in
+            ignore (Kbuild.store b ~addr v)
+        | _ -> assert false)
+      [
+        [ List.nth coeffs 0; List.nth coeffs 1; List.nth coeffs 2 ];
+        [ List.nth coeffs 3; List.nth coeffs 4; List.nth coeffs 5 ];
+        [ List.nth coeffs 6; List.nth coeffs 7; List.nth coeffs 8 ];
+      ]
+  in
+  pixel 0;
+  pixel 1;
+  Kbuild.freeze b
+
+let sad16 () =
+  let b = Kbuild.create "sad16" in
+  let idx = Kbuild.induction b ~name:"idx" () in
+  let diffs =
+    List.init 16 (fun i ->
+        let aa = Kbuild.op b ~name:(Printf.sprintf "ca%d" i) Opcode.Agen [ idx ] in
+        let ab = Kbuild.op b ~name:(Printf.sprintf "cb%d" i) Opcode.Agen [ idx ] in
+        let xa = Kbuild.load b ~name:(Printf.sprintf "xa%d" i) ~addr:aa in
+        let xb = Kbuild.load b ~name:(Printf.sprintf "xb%d" i) ~addr:ab in
+        Kbuild.op b Opcode.Abs [ Kbuild.op b Opcode.Sub [ xa; xb ] ])
+  in
+  let row_sum = Kbuild.reduce b Opcode.Add diffs in
+  (* Running SAD across iterations: accumulator recurrence. *)
+  let acc = Kbuild.op b ~name:"acc" Opcode.Add [ row_sum ] in
+  Kbuild.back_edge b ~src:acc ~dst:acc;
+  let best = Kbuild.op_carried b ~name:"best" Opcode.Min [ (acc, 0); (acc, 1) ] in
+  let oaddr = Kbuild.op b ~name:"oaddr" Opcode.Agen [ idx ] in
+  let _ = Kbuild.store b ~name:"st" ~addr:oaddr best in
+  Kbuild.freeze b
+
+let autocorr () =
+  let b = Kbuild.create "autocorr" in
+  let idx = Kbuild.induction b ~name:"idx" () in
+  let addr = Kbuild.op b ~name:"sa" Opcode.Agen [ idx ] in
+  let sample = Kbuild.load b ~name:"x" ~addr in
+  (* r[k] += x[n] * x[n-k]: the lagged sample is the same load consumed
+     k iterations later; each lag keeps its own MAC accumulator. *)
+  for lag = 0 to 3 do
+    let lagged =
+      Kbuild.op_carried b
+        ~name:(Printf.sprintf "prod%d" lag)
+        Opcode.Mul
+        [ (sample, 0); (sample, lag) ]
+    in
+    let acc =
+      Kbuild.op b ~name:(Printf.sprintf "r%d" lag) Opcode.Add [ lagged ]
+    in
+    Kbuild.back_edge b ~src:acc ~dst:acc;
+    let oaddr =
+      Kbuild.op b ~name:(Printf.sprintf "ra%d" lag) Opcode.Agen [ idx ]
+    in
+    ignore (Kbuild.store b ~name:(Printf.sprintf "st%d" lag) ~addr:oaddr acc)
+  done;
+  Kbuild.freeze b
+
+let all =
+  [
+    ("fir1d", fir1d);
+    ("matmul4", matmul4);
+    ("fft_stage", fft_stage);
+    ("rgb2ycc", rgb2ycc);
+    ("sad16", sad16);
+    ("autocorr", autocorr);
+  ]

@@ -1,0 +1,46 @@
+open Hca_ddg
+
+let ddg () =
+  let b = Kbuild.create "fir2dim" in
+  (* Window pointer with wrap-around: add column step, compare against
+     the row end, select the wrapped base — a 3-op recurrence circuit. *)
+  let col = Kbuild.induction b ~name:"col" ~step_ops:3 () in
+  (* Output pointer: independent unit-step recurrence. *)
+  let outp = Kbuild.induction b ~name:"outp" () in
+  (* 3x3 coefficient window, held in registers. *)
+  let coeff r c = Kbuild.const b ~name:(Printf.sprintf "c%d%d" r c) ((3 * r) + c) in
+  let coeffs = List.init 3 (fun r -> List.init 3 (fun c -> coeff r c)) in
+  (* Row base addresses: window pointer plus row stride. *)
+  let row_base r =
+    Kbuild.op b ~name:(Printf.sprintf "row%d" r) Opcode.Agen [ col ]
+  in
+  let bases = List.init 3 row_base in
+  (* Per-row pixel addresses and loads: base+0, base+1, base+2. *)
+  let pixel r base c =
+    let addr =
+      Kbuild.op b ~name:(Printf.sprintf "a%d%d" r c) Opcode.Agen [ base ]
+    in
+    Kbuild.load b ~name:(Printf.sprintf "x%d%d" r c) ~addr
+  in
+  let pixels =
+    List.mapi (fun r base -> List.init 3 (fun c -> pixel r base c)) bases
+  in
+  (* Multiply-accumulate tree. *)
+  let products =
+    List.concat
+      (List.map2
+         (fun crow prow ->
+           List.map2
+             (fun cf px -> Kbuild.op b Opcode.Mul [ cf; px ])
+             crow prow)
+         coeffs pixels)
+  in
+  let sum = Kbuild.reduce b Opcode.Add products in
+  (* Round, scale, saturate, store. *)
+  let half = Kbuild.const b ~name:"half" 128 in
+  let rounded = Kbuild.op b Opcode.Add [ sum; half ] in
+  let scaled = Kbuild.op b Opcode.Shr [ rounded ] in
+  let sat = Kbuild.op b ~name:"sat" Opcode.Clip [ scaled ] in
+  let out_addr = Kbuild.op b ~name:"oaddr" Opcode.Agen [ outp ] in
+  let _ = Kbuild.store b ~name:"st" ~addr:out_addr sat in
+  Kbuild.freeze b

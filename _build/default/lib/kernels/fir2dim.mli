@@ -1,0 +1,11 @@
+(** fir2dim: the 2-dimensional FIR filter loop of the DSPStone suite —
+    first row of Table 1 (57 instructions, MIIRec 3, MIIRes 2).
+
+    One iteration convolves a 3x3 coefficient window around the current
+    pixel and writes one filtered output.  The recurrence of the loop is
+    the window-pointer update with wrap-around handling (three dependent
+    ALU operations, distance 1), which gives MIIRec = 3; ten DMA
+    operations (nine window loads, one store) against eight DMA ports
+    give MIIRes = 2 on the 64-CN machine. *)
+
+val ddg : unit -> Hca_ddg.Ddg.t

@@ -1,0 +1,74 @@
+open Hca_ddg
+
+(* Row deblocking of eight 4-pixel block edges.  Pixels cross the edge
+   as packed words (one load carries p1:p0, one carries q0:q1), so each
+   column costs four DMA operations — 32 in total, which against the
+   eight DMA ports yields the MIIRes = 4 of Table 1.  Seven columns run
+   the short (chroma-style) filter; one runs the full luma check with
+   the beta side-conditions. *)
+let ddg () =
+  let b = Kbuild.create "h264deblocking" in
+  (* Boundary-strength pointer: advance, fetch-select, wrap — a 3-op
+     distance-1 recurrence. *)
+  let bs = Kbuild.induction b ~name:"bs" ~step_ops:3 () in
+  let col = Kbuild.induction b ~name:"col" () in
+  let alpha = Kbuild.const b ~name:"alpha" 40 in
+  let beta = Kbuild.const b ~name:"beta" 10 in
+  let tc = Kbuild.const b ~name:"tc" 4 in
+  let four = Kbuild.const b ~name:"four" 4 in
+  let zero = Kbuild.const b ~name:"zero" 0 in
+  let mask = Kbuild.const b ~name:"mask" 255 in
+  let add x y = Kbuild.op b Opcode.Add [ x; y ] in
+  let sub x y = Kbuild.op b Opcode.Sub [ x; y ] in
+  let abs x = Kbuild.op b Opcode.Abs [ x ] in
+  let cmp x y = Kbuild.op b Opcode.Cmp [ x; y ] in
+  let and_ x y = Kbuild.op b Opcode.And_ [ x; y ] in
+  let shl x = Kbuild.op b Opcode.Shl [ x ] in
+  let shr x = Kbuild.op b Opcode.Shr [ x ] in
+  let sel c x y = Kbuild.op b Opcode.Sel [ c; x; y ] in
+  let clip x = Kbuild.op b Opcode.Clip [ x ] in
+  let min_ x y = Kbuild.op b Opcode.Min [ x; y ] in
+  let max_ x y = Kbuild.op b Opcode.Max [ x; y ] in
+  (* Loop-invariant pieces: the lower clamp bound and the
+     boundary-strength gate. *)
+  let neg_tc = Kbuild.op b ~name:"neg_tc" Opcode.Sub [ zero; tc ] in
+  let strength = Kbuild.op b ~name:"strength" Opcode.Cmp [ bs; zero ] in
+  let column ~luma e =
+    let name fmt = Printf.sprintf fmt e in
+    let a_p =
+      Kbuild.op b ~name:(name "ap%d") Opcode.Agen [ col; bs ]
+    in
+    let a_q =
+      Kbuild.op b ~name:(name "aq%d") Opcode.Agen [ col; bs ]
+    in
+    let pw = Kbuild.load b ~name:(name "pw%d") ~addr:a_p in
+    let qw = Kbuild.load b ~name:(name "qw%d") ~addr:a_q in
+    let p0 = and_ pw mask in
+    let q0 = and_ qw mask in
+    (* Filtering condition: |p0 - q0| < alpha, gated by the strength. *)
+    let c0 = cmp (abs (sub p0 q0)) alpha in
+    let gate = and_ c0 strength in
+    let gate =
+      if not luma then gate
+      else begin
+        (* Full luma check adds |p1-p0| < beta and |q1-q0| < beta on the
+           high halves of the packed words. *)
+        let p1 = shr pw in
+        let q1 = shr qw in
+        let c1 = cmp (abs (sub p1 p0)) beta in
+        let c2 = cmp (abs (sub q1 q0)) beta in
+        and_ gate (and_ c1 c2)
+      end
+    in
+    (* delta = clip3(-tc, tc, ((p0-q0) << 2 + 4) >> 3). *)
+    let raw = shr (add (shl (sub p0 q0)) four) in
+    let delta = max_ (min_ raw tc) neg_tc in
+    let p0' = sel gate (clip (sub p0 delta)) p0 in
+    let q0' = sel gate (clip (add q0 delta)) q0 in
+    ignore (Kbuild.store b ~name:(name "sp%d") ~addr:a_p p0');
+    ignore (Kbuild.store b ~name:(name "sq%d") ~addr:a_q q0')
+  in
+  for e = 0 to 7 do
+    column ~luma:(e < 1) e
+  done;
+  Kbuild.freeze b

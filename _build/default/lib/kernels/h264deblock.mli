@@ -1,0 +1,12 @@
+(** h264deblocking: the row (horizontal-edge) deblocking filter of the
+    H.264 decoder — last row of Table 1 (214 instructions, MIIRec 3,
+    MIIRes 4).
+
+    One iteration filters the four pixel columns of one 4-pixel block
+    edge: for each column it loads the boundary pixels p1 p0 q0 q1,
+    evaluates the filtering condition against alpha/beta, computes the
+    clipped delta, conditionally updates all four pixels and stores them
+    back.  The boundary-strength pointer update is a 3-op recurrence
+    (MIIRec = 3); thirty-two DMA operations give MIIRes = 4. *)
+
+val ddg : unit -> Hca_ddg.Ddg.t

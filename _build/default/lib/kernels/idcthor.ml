@@ -1,0 +1,63 @@
+open Hca_ddg
+
+let ddg () =
+  let b = Kbuild.create "idcthor" in
+  let row = Kbuild.induction b ~name:"row" () in
+  (* Element addresses, shared by the loads and the in-place stores. *)
+  let addrs =
+    List.init 8 (fun i ->
+        Kbuild.op b ~name:(Printf.sprintf "a%d" i) Opcode.Agen [ row ])
+  in
+  let xs =
+    List.mapi
+      (fun i addr -> Kbuild.load b ~name:(Printf.sprintf "x%d" i) ~addr)
+      addrs
+  in
+  let x i = List.nth xs i in
+  let c i = Kbuild.const b ~name:(Printf.sprintf "c%d" i) i in
+  let c1 = c 1 and c2 = c 2 and c3 = c 3 and c4 = c 4 in
+  let c5 = c 5 and c6 = c 6 and c7 = c 7 in
+  let rnd = Kbuild.const b ~name:"rnd" 4 in
+  let add a b' = Kbuild.op b Opcode.Add [ a; b' ] in
+  let sub a b' = Kbuild.op b Opcode.Sub [ a; b' ] in
+  let mul a b' = Kbuild.op b Opcode.Mul [ a; b' ] in
+  (* Even part on x0, x2, x4, x6 (rounding folded into the DC term). *)
+  let x0r = add (x 0) rnd in
+  let e0 = add x0r (x 4) in
+  let e1 = sub x0r (x 4) in
+  let e2 = sub (mul (x 2) c2) (mul (x 6) c6) in
+  let e3 = add (mul (x 2) c6) (mul (x 6) c2) in
+  let s0 = add e0 e3 in
+  let s3 = sub e0 e3 in
+  let s1 = add e1 e2 in
+  let s2 = sub e1 e2 in
+  (* Odd part on x1, x3, x5, x7 with the sqrt2 rotation. *)
+  let o0 = add (mul (x 1) c1) (mul (x 7) c7) in
+  let o1 = add (mul (x 5) c5) (mul (x 3) c3) in
+  let o2 = sub (mul (x 1) c7) (mul (x 7) c1) in
+  let o3 = sub (mul (x 5) c3) (mul (x 3) c5) in
+  let z0 = add o0 o1 in
+  let z3 = sub o0 o1 in
+  let z1 = add o2 o3 in
+  let z2 = sub o2 o3 in
+  let rot = mul (add z1 z2) c4 in
+  let z1' = sub rot z2 in
+  let z2' = sub rot z1 in
+  (* Butterfly outputs, scaled back. *)
+  let shr v = Kbuild.op b Opcode.Shr [ v ] in
+  let y0 = shr (add s0 z0) in
+  let y7 = shr (sub s0 z0) in
+  let y1 = shr (add s1 z1') in
+  let y6 = shr (sub s1 z1') in
+  let y2 = shr (add s2 z2') in
+  let y5 = shr (sub s2 z2') in
+  let y3 = shr (add s3 z3) in
+  let y4 = shr (sub s3 z3) in
+  let ys = [ y0; y1; y2; y3; y4; y5; y6; y7 ] in
+  List.iteri
+    (fun i y ->
+      ignore
+        (Kbuild.store b ~name:(Printf.sprintf "st%d" i)
+           ~addr:(List.nth addrs i) y))
+    ys;
+  Kbuild.freeze b

@@ -1,0 +1,10 @@
+(** idcthor: the horizontal (row) pass of the 8-point Inverse Discrete
+    Cosine Transform, as in the OpenDivx decoder — second row of Table 1
+    (82 instructions, MIIRec 1, MIIRes 2).
+
+    One iteration transforms one row of eight coefficients in place with
+    the even/odd (LLM-style) decomposition.  The only recurrence is the
+    unit-step row pointer, so MIIRec = 1; sixteen DMA operations (eight
+    loads, eight in-place stores) give MIIRes = 2. *)
+
+val ddg : unit -> Hca_ddg.Ddg.t

@@ -1,0 +1,60 @@
+open Hca_ddg
+
+type v = Instr.id
+
+type t = Ddg.Builder.t
+
+let create name = Ddg.Builder.create ~name ()
+
+let const b ?name k = Ddg.Builder.add_instr b ?name (Opcode.Const k)
+
+let op b ?name opcode args =
+  let id = Ddg.Builder.add_instr b ?name opcode in
+  List.iter (fun src -> Ddg.Builder.add_dep b ~src ~dst:id) args;
+  id
+
+let op_carried b ?name opcode args =
+  let id = Ddg.Builder.add_instr b ?name opcode in
+  List.iter
+    (fun (src, distance) -> Ddg.Builder.add_dep b ~distance ~src ~dst:id)
+    args;
+  id
+
+let back_edge ?(distance = 1) b ~src ~dst =
+  Ddg.Builder.add_dep b ~distance ~src ~dst
+
+let induction b ?name ?(step_ops = 1) () =
+  if step_ops < 1 then invalid_arg "Kbuild.induction: step_ops must be >= 1";
+  let head = Ddg.Builder.add_instr b ?name Opcode.Add in
+  let rec extend prev k =
+    if k = 0 then prev
+    else
+      let next = op b Opcode.Add [ prev ] in
+      extend next (k - 1)
+  in
+  let tail = extend head (step_ops - 1) in
+  back_edge b ~src:tail ~dst:head;
+  head
+
+let load ?name b ~addr = op b ?name Opcode.Load [ addr ]
+
+let store b ?name ~addr value = op b ?name Opcode.Store [ addr; value ]
+
+let reduce b ?name opcode values =
+  let rec round = function
+    | [] -> invalid_arg "Kbuild.reduce: empty list"
+    | [ v ] -> v
+    | vs ->
+        let rec pair = function
+          | a :: c :: rest -> op b opcode [ a; c ] :: pair rest
+          | [ a ] -> [ a ]
+          | [] -> []
+        in
+        round (pair vs)
+  in
+  let root = round values in
+  match name with
+  | None -> root
+  | Some n -> op b ~name:n Opcode.Mov [ root ]
+
+let freeze b = Ddg.Builder.freeze b

@@ -1,0 +1,41 @@
+(** Small value-level DSL over {!Hca_ddg.Ddg.Builder} used to write the
+    benchmark kernels: each combinator appends one instruction and wires
+    its operand dependences, so a kernel reads like three-address code. *)
+
+open Hca_ddg
+
+type v = Instr.id
+(** A value is identified by its producing instruction. *)
+
+type t
+
+val create : string -> t
+
+val const : t -> ?name:string -> int -> v
+
+val op : t -> ?name:string -> Opcode.t -> v list -> v
+(** [op b opcode args]: new instruction depending on every [arg] with
+    the producer's latency and distance 0. *)
+
+val op_carried : t -> ?name:string -> Opcode.t -> (v * int) list -> v
+(** Like {!op} but each argument carries its own loop distance. *)
+
+val back_edge : ?distance:int -> t -> src:v -> dst:v -> unit
+(** Add a loop-carried dependence closing a recurrence circuit
+    ([distance] defaults to 1). *)
+
+val induction : t -> ?name:string -> ?step_ops:int -> unit -> v
+(** An induction variable: a chain of [step_ops] (default 1) unit-latency
+    ALU operations closed by a distance-1 back edge, giving a recurrence
+    of MII exactly [step_ops].  Returns the chain head (the value
+    consumers should read). *)
+
+val load : ?name:string -> t -> addr:v -> v
+
+val store : t -> ?name:string -> addr:v -> v -> v
+
+val reduce : t -> ?name:string -> Opcode.t -> v list -> v
+(** Balanced binary reduction tree (e.g. the adder tree of a FIR);
+    returns the root.  @raise Invalid_argument on an empty list. *)
+
+val freeze : t -> Ddg.t

@@ -1,0 +1,40 @@
+open Hca_ddg
+
+let ddg () =
+  let b = Kbuild.create "mpeg2inter" in
+  let row = Kbuild.induction b ~name:"row" () in
+  let outp = Kbuild.induction b ~name:"outp" () in
+  let one = Kbuild.const b ~name:"one" 1 in
+  let zero = Kbuild.const b ~name:"zero" 0 in
+  let cm = Kbuild.const b ~name:"cm" 3 in
+  let cb = Kbuild.const b ~name:"cb" 2 in
+  (* Rounding-control recurrence: accumulate the running error, weight
+     it, saturate, apply the bias correction, and feed the drift back —
+     a distance-1 circuit of latency 1+2+1+1+1 = 6. *)
+  let acc = Kbuild.op b ~name:"acc" Opcode.Add [ one ] in
+  let weighted = Kbuild.op b Opcode.Mul [ acc; cm ] in
+  let saturated = Kbuild.op b Opcode.Clip [ weighted ] in
+  let biased = Kbuild.op b Opcode.Add [ saturated; cb ] in
+  let drift = Kbuild.op b ~name:"drift" Opcode.Sub [ biased; acc ] in
+  Kbuild.back_edge b ~src:drift ~dst:acc;
+  (* Rounding bit for even pixels, complemented for odd ones. *)
+  let magnitude = Kbuild.op b Opcode.Abs [ saturated ] in
+  let flag = Kbuild.op b Opcode.Cmp [ magnitude; zero ] in
+  let round = Kbuild.op b ~name:"round" Opcode.Sel [ flag; one; zero ] in
+  let round' = Kbuild.op b ~name:"round'" Opcode.Xor [ round; one ] in
+  (* Eight pixels: current row loaded, previous row loop-carried from
+     the same loads at distance 1. *)
+  for i = 0 to 7 do
+    let addr = Kbuild.op b ~name:(Printf.sprintf "a%d" i) Opcode.Agen [ row ] in
+    let cur = Kbuild.load b ~name:(Printf.sprintf "x%d" i) ~addr in
+    let sum = Kbuild.op_carried b Opcode.Add [ (cur, 0); (cur, 1) ] in
+    let r = if i mod 2 = 0 then round else round' in
+    let rounded = Kbuild.op b Opcode.Add [ sum; r ] in
+    let halved = Kbuild.op b Opcode.Shr [ rounded ] in
+    let sat = Kbuild.op b Opcode.Clip [ halved ] in
+    let oaddr =
+      Kbuild.op b ~name:(Printf.sprintf "o%d" i) Opcode.Agen [ outp ]
+    in
+    ignore (Kbuild.store b ~name:(Printf.sprintf "st%d" i) ~addr:oaddr sat)
+  done;
+  Kbuild.freeze b

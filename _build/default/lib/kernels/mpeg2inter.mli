@@ -1,0 +1,11 @@
+(** mpeg2inter: the half-pel interpolation filter of the MPEG-2
+    decoder's motion compensation — third row of Table 1
+    (79 instructions, MIIRec 6, MIIRes 2).
+
+    One iteration averages the current 8-pixel row with the previous one
+    (the previous row is loop-carried, not reloaded) and writes the
+    interpolated row.  The rounding-control recurrence — accumulate,
+    weight, saturate, correct — is a 6-cycle circuit at distance 1,
+    giving MIIRec = 6; sixteen DMA operations give MIIRes = 2. *)
+
+val ddg : unit -> Hca_ddg.Ddg.t

@@ -1,0 +1,85 @@
+open Hca_ddg
+
+type params = {
+  size : int;
+  layers : int;
+  mem_ratio : float;
+  recurrences : int;
+  recurrence_latency : int;
+  seed : int;
+}
+
+let default =
+  {
+    size = 64;
+    layers = 6;
+    mem_ratio = 0.15;
+    recurrences = 1;
+    recurrence_latency = 2;
+    seed = 42;
+  }
+
+let alu_ops =
+  [|
+    Opcode.Add; Opcode.Sub; Opcode.Mul; Opcode.Shl; Opcode.Shr; Opcode.And_;
+    Opcode.Or_; Opcode.Xor; Opcode.Min; Opcode.Max;
+  |]
+
+let generate p =
+  if p.size < 2 then invalid_arg "Synthetic.generate: size must be >= 2";
+  if p.layers < 1 then invalid_arg "Synthetic.generate: layers must be >= 1";
+  if p.mem_ratio < 0.0 || p.mem_ratio > 0.5 then
+    invalid_arg "Synthetic.generate: mem_ratio out of [0, 0.5]";
+  if p.recurrences < 0 || p.recurrence_latency < 1 then
+    invalid_arg "Synthetic.generate: bad recurrence parameters";
+  let rng = Hca_util.Prng.create p.seed in
+  let b = Kbuild.create (Printf.sprintf "synthetic-%d-%d" p.size p.seed) in
+  let rec_ops = p.recurrences * p.recurrence_latency in
+  if rec_ops >= p.size then
+    invalid_arg "Synthetic.generate: recurrences exceed the size budget";
+  let carried =
+    List.init p.recurrences (fun i ->
+        Kbuild.induction b
+          ~name:(Printf.sprintf "ind%d" i)
+          ~step_ops:p.recurrence_latency ())
+  in
+  let budget = p.size - rec_ops in
+  let mem_budget = int_of_float (p.mem_ratio *. float_of_int budget) in
+  (* Layer sizes: split the remaining budget as evenly as possible. *)
+  let per_layer = Array.make p.layers (budget / p.layers) in
+  for i = 0 to (budget mod p.layers) - 1 do
+    per_layer.(i) <- per_layer.(i) + 1
+  done;
+  let previous = ref (Array.of_list carried) in
+  let all_mem = ref 0 in
+  for layer = 0 to p.layers - 1 do
+    let this = ref [] in
+    for _ = 1 to per_layer.(layer) do
+      let pick_dep () =
+        if Array.length !previous = 0 then None
+        else Some (Hca_util.Prng.pick rng !previous)
+      in
+      let v =
+        if layer = 0 && Array.length !previous = 0 then
+          Kbuild.const b (Hca_util.Prng.int rng 256)
+        else if !all_mem < mem_budget && Hca_util.Prng.float rng 1.0 < 0.5 then begin
+          incr all_mem;
+          match pick_dep () with
+          | Some addr ->
+              if Hca_util.Prng.bool rng then Kbuild.load b ~addr
+              else Kbuild.store b ~addr addr
+          | None -> Kbuild.const b 0
+        end
+        else
+          match (pick_dep (), pick_dep ()) with
+          | Some a, Some c ->
+              Kbuild.op b (Hca_util.Prng.pick rng alu_ops) [ a; c ]
+          | Some a, None | None, Some a ->
+              Kbuild.op b (Hca_util.Prng.pick rng alu_ops) [ a ]
+          | None, None -> Kbuild.const b (Hca_util.Prng.int rng 256)
+      in
+      this := v :: !this
+    done;
+    if !this <> [] then previous := Array.of_list !this
+  done;
+  Kbuild.freeze b

@@ -1,0 +1,23 @@
+(** Seeded synthetic-kernel generator, used by the property tests, the
+    scaling benches and the architecture-exploration example.
+
+    The generator produces layered DAGs shaped like media kernels:
+    mostly independent arithmetic with a configurable memory-operation
+    share, a few loop-carried recurrence circuits of bounded latency,
+    and fan-in limited to two (three-address code). *)
+
+type params = {
+  size : int;  (** instruction count (recurrence ops included) *)
+  layers : int;  (** dataflow depth; more layers = less ILP *)
+  mem_ratio : float;  (** share of DMA operations, in [0, 0.5] *)
+  recurrences : int;  (** number of distance-1 circuits *)
+  recurrence_latency : int;  (** latency of each circuit: the MIIRec target *)
+  seed : int;
+}
+
+val default : params
+(** 64 instructions, 6 layers, 15% memory, one latency-2 recurrence. *)
+
+val generate : params -> Hca_ddg.Ddg.t
+(** Deterministic in [params] (including the seed).
+    @raise Invalid_argument on nonsense parameters. *)

@@ -1,0 +1,1 @@
+lib/machine/copy_flow.ml: Array Format Hca_ddg Instr Int List Pattern_graph Printf Set String

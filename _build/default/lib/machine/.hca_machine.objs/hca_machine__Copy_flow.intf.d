@@ -1,0 +1,1 @@
+lib/machine/copy_flow.mli: Format Hca_ddg Instr Pattern_graph

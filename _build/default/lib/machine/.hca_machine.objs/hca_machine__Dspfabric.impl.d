@@ -1,0 +1,1 @@
+lib/machine/dspfabric.ml: Array Format Hca_ddg Printf Resource String

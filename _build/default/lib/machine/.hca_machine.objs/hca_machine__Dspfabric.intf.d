@@ -1,0 +1,1 @@
+lib/machine/dspfabric.mli: Format Hca_ddg Resource

@@ -1,0 +1,1 @@
+lib/machine/machine_model.ml: Array Format Hca_ddg Instr List Printf String

@@ -1,0 +1,1 @@
+lib/machine/machine_model.mli: Format Hca_ddg Instr

@@ -1,0 +1,1 @@
+lib/machine/pattern_graph.ml: Array Format Hca_ddg Instr List Printf Resource

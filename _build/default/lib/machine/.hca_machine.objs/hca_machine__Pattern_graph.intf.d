@@ -1,0 +1,1 @@
+lib/machine/pattern_graph.mli: Format Hca_ddg Instr Resource

@@ -1,0 +1,1 @@
+lib/machine/rcp.ml: Array List Pattern_graph Printf Resource

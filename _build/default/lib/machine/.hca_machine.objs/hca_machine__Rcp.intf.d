@@ -1,0 +1,1 @@
+lib/machine/rcp.mli: Pattern_graph

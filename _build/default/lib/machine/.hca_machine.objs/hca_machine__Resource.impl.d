@@ -1,0 +1,1 @@
+lib/machine/resource.ml: Ddg Format Hca_ddg Instr List Opcode

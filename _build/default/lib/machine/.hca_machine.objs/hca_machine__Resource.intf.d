@@ -1,0 +1,1 @@
+lib/machine/resource.mli: Ddg Format Hca_ddg Instr Opcode

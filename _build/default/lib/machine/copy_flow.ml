@@ -1,0 +1,131 @@
+open Hca_ddg
+
+type t = {
+  pg : Pattern_graph.t;
+  max_in_ports : int;
+  values : Instr.id list array array;  (* values.(src).(dst), reverse order *)
+  reserved : bool array array;  (* backbone arcs: slot pre-committed *)
+}
+
+let create ?(max_in_ports = max_int) pg =
+  let n = Pattern_graph.size pg in
+  {
+    pg;
+    max_in_ports;
+    values = Array.init n (fun _ -> Array.make n []);
+    reserved = Array.init n (fun _ -> Array.make n false);
+  }
+
+let pg t = t.pg
+
+let clone t =
+  { t with values = Array.map Array.copy t.values }
+  (* [reserved] is never mutated after setup, so sharing it is safe. *)
+
+let copies t ~src ~dst = List.rev t.values.(src).(dst)
+
+let is_real t ~src ~dst = t.values.(src).(dst) <> []
+
+let real_in_neighbors t id =
+  let acc = ref [] in
+  for src = Pattern_graph.size t.pg - 1 downto 0 do
+    if t.values.(src).(id) <> [] then acc := src :: !acc
+  done;
+  !acc
+
+let real_out_neighbors t id =
+  let acc = ref [] in
+  for dst = Pattern_graph.size t.pg - 1 downto 0 do
+    if t.values.(id).(dst) <> [] then acc := dst :: !acc
+  done;
+  !acc
+
+let used_in_ports t =
+  Pattern_graph.in_ports t.pg
+  |> List.filter_map (fun (nd : Pattern_graph.node) ->
+         if real_out_neighbors t nd.id <> [] then Some nd.id else None)
+
+let is_in_port t id =
+  match (Pattern_graph.node t.pg id).kind with
+  | Pattern_graph.In_port _ -> true
+  | Pattern_graph.Regular | Pattern_graph.Out_port _ -> false
+
+let max_in_for t dst =
+  match (Pattern_graph.node t.pg dst).kind with
+  | Pattern_graph.Out_port _ -> 1
+  | Pattern_graph.Regular -> Pattern_graph.max_in t.pg
+  | Pattern_graph.In_port _ -> 0
+
+(* In-degree with backbone reservations folded in: a reserved arc holds
+   its slot whether or not a value flows yet. *)
+let committed_in_degree t dst =
+  let n = Pattern_graph.size t.pg in
+  let count = ref 0 in
+  for src = 0 to n - 1 do
+    if t.values.(src).(dst) <> [] || t.reserved.(src).(dst) then incr count
+  done;
+  !count
+
+let reserve_neighbor t ~src ~dst =
+  if not (Pattern_graph.is_potential t.pg ~src ~dst) then
+    invalid_arg "Copy_flow.reserve_neighbor: arc not potential";
+  t.reserved.(src).(dst) <- true
+
+let can_add t ~src ~dst =
+  Pattern_graph.is_potential t.pg ~src ~dst
+  && (is_real t ~src ~dst || t.reserved.(src).(dst)
+     || committed_in_degree t dst < max_in_for t dst
+        && ((not (is_in_port t src))
+           || List.mem src (used_in_ports t)
+           || List.length (used_in_ports t) < t.max_in_ports))
+
+let add_copy t ~src ~dst value =
+  if not (can_add t ~src ~dst) then
+    invalid_arg
+      (Printf.sprintf "Copy_flow.add_copy: arc %d->%d not allowed" src dst);
+  if not (List.mem value t.values.(src).(dst)) then
+    t.values.(src).(dst) <- value :: t.values.(src).(dst)
+
+let arcs t =
+  let n = Pattern_graph.size t.pg in
+  let acc = ref [] in
+  for src = n - 1 downto 0 do
+    for dst = n - 1 downto 0 do
+      if t.values.(src).(dst) <> [] then
+        acc := (src, dst, List.rev t.values.(src).(dst)) :: !acc
+    done
+  done;
+  !acc
+
+let copy_count t =
+  Array.fold_left
+    (fun acc row ->
+      Array.fold_left (fun acc vs -> acc + List.length vs) acc row)
+    0 t.values
+
+let max_arc_pressure t =
+  Array.fold_left
+    (fun acc row ->
+      Array.fold_left (fun acc vs -> max acc (List.length vs)) acc row)
+    0 t.values
+
+let in_pressure t id =
+  Array.fold_left (fun acc row -> acc + List.length row.(id)) 0 t.values
+
+let out_pressure t id =
+  let module S = Set.Make (Int) in
+  let distinct =
+    Array.fold_left
+      (fun acc vs -> List.fold_left (fun acc v -> S.add v acc) acc vs)
+      S.empty t.values.(id)
+  in
+  S.cardinal distinct
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>copy flow on %s:" (Pattern_graph.name t.pg);
+  List.iter
+    (fun (src, dst, vs) ->
+      Format.fprintf ppf "@,  %d -> %d : [%s]" src dst
+        (String.concat "," (List.map string_of_int vs)))
+    (arcs t);
+  Format.fprintf ppf "@]"

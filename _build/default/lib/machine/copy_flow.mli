@@ -1,0 +1,81 @@
+(** Mutable inter-cluster copy state over a {!Pattern_graph.t}.
+
+    The search turns *potential* PG arcs into *real* communication
+    patterns by routing values over them; this module owns that state
+    and enforces the reconfiguration constraints of §4.1:
+
+    - a regular node accepts at most [max_in] distinct real
+      in-neighbours (the MUX capacity of the level);
+    - an output port accepts exactly one real in-neighbour
+      ([outNode_MaxIn]: MUX inputs have unary fan-in);
+    - at most [max_in_ports] distinct input ports may feed the level
+      (the leaf crossbar admits only [K] of the wires coming down from
+      level 1).
+
+    Snapshots ({!clone}) are cheap because PGs are small (4 regular
+    nodes plus ports); the beam search clones one per explored branch. *)
+
+open Hca_ddg
+
+type t
+
+val create : ?max_in_ports:int -> Pattern_graph.t -> t
+(** [max_in_ports] defaults to unlimited. *)
+
+val reserve_neighbor : t -> src:Pattern_graph.node_id -> dst:Pattern_graph.node_id -> unit
+(** Pre-commits the in-neighbour slot for a backbone arc: [can_add]
+    treats the pair as already connected, so routing along it is always
+    possible even when [dst]'s in-degree budget is otherwise spoken for.
+    A reserved arc that ends up carrying no value costs nothing at
+    mapping time (the Mapper only wires real arcs) — the reservation
+    only shapes the search.  Used to pin a ring backbone on the leaf
+    quads, whose two-input CNs deadlock without a planned topology.
+    @raise Invalid_argument when the arc is not potential. *)
+
+val pg : t -> Pattern_graph.t
+
+val clone : t -> t
+
+(** {1 Mutation} *)
+
+val can_add : t -> src:Pattern_graph.node_id -> dst:Pattern_graph.node_id -> bool
+(** Would routing a value on [(src, dst)] respect the potential matrix
+    and all in-neighbour constraints? *)
+
+val add_copy :
+  t -> src:Pattern_graph.node_id -> dst:Pattern_graph.node_id -> Instr.id -> unit
+(** Routes one value.  Idempotent per [(src, dst, value)].
+    @raise Invalid_argument when [can_add] is false. *)
+
+(** {1 Queries} *)
+
+val copies : t -> src:Pattern_graph.node_id -> dst:Pattern_graph.node_id -> Instr.id list
+(** Values on the arc, in insertion order. *)
+
+val is_real : t -> src:Pattern_graph.node_id -> dst:Pattern_graph.node_id -> bool
+
+val real_in_neighbors : t -> Pattern_graph.node_id -> Pattern_graph.node_id list
+
+val real_out_neighbors : t -> Pattern_graph.node_id -> Pattern_graph.node_id list
+
+val arcs : t -> (Pattern_graph.node_id * Pattern_graph.node_id * Instr.id list) list
+(** All real arcs with their value lists, ordered by [(src, dst)]. *)
+
+val copy_count : t -> int
+(** Total value-hops routed. *)
+
+val used_in_ports : t -> Pattern_graph.node_id list
+(** Input ports with at least one outgoing copy. *)
+
+val max_arc_pressure : t -> int
+(** Largest number of values on a single real arc — the copy-pressure
+    term of the cluster MII. *)
+
+val in_pressure : t -> Pattern_graph.node_id -> int
+(** Values entering a node: each needs a receive slot. *)
+
+val out_pressure : t -> Pattern_graph.node_id -> int
+(** Distinct values leaving a node (a broadcast counts once, the paper's
+    Mapper merges broadcast copies onto one wire). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,209 @@
+open Hca_ddg
+
+type node_id = int
+
+type wire_id = int
+
+type t = {
+  nodes : int;
+  in_capacity : int;
+  out_capacity : int;
+  out_used : int array;  (* output wires taken per node *)
+  in_used : int array;  (* input slots taken per node *)
+  mutable values : Instr.id list array;  (* per wire, reverse order *)
+  mutable sinks : node_id list array;  (* per wire *)
+  mutable ext_in : int list array;  (* father-wire labels per node *)
+  mutable ext_out : (int * wire_id) list array;
+}
+
+let create ~nodes ~in_capacity ~out_capacity =
+  if nodes <= 0 || in_capacity <= 0 || out_capacity <= 0 then
+    invalid_arg "Machine_model.create: non-positive size";
+  {
+    nodes;
+    in_capacity;
+    out_capacity;
+    out_used = Array.make nodes 0;
+    in_used = Array.make nodes 0;
+    values = Array.make (nodes * out_capacity) [];
+    sinks = Array.make (nodes * out_capacity) [];
+    ext_in = Array.make nodes [];
+    ext_out = Array.make nodes [];
+  }
+
+let nodes t = t.nodes
+
+let in_capacity t = t.in_capacity
+
+let out_capacity t = t.out_capacity
+
+let clone t =
+  {
+    t with
+    out_used = Array.copy t.out_used;
+    in_used = Array.copy t.in_used;
+    values = Array.copy t.values;
+    sinks = Array.copy t.sinks;
+    ext_in = Array.copy t.ext_in;
+    ext_out = Array.copy t.ext_out;
+  }
+
+let check_node t id ctx =
+  if id < 0 || id >= t.nodes then invalid_arg (ctx ^ ": bad node id")
+
+let check_wire t w ctx =
+  if w < 0 || w >= t.nodes * t.out_capacity then
+    invalid_arg (ctx ^ ": bad wire id")
+
+let owner t w =
+  check_wire t w "Machine_model.owner";
+  w / t.out_capacity
+
+let alloc_out_wire t node =
+  check_node t node "Machine_model.alloc_out_wire";
+  if t.out_used.(node) >= t.out_capacity then None
+  else begin
+    let w = (node * t.out_capacity) + t.out_used.(node) in
+    t.out_used.(node) <- t.out_used.(node) + 1;
+    Some w
+  end
+
+let free_out_wires t node =
+  check_node t node "Machine_model.free_out_wires";
+  t.out_capacity - t.out_used.(node)
+
+let free_in_slots t node =
+  check_node t node "Machine_model.free_in_slots";
+  t.in_capacity - t.in_used.(node)
+
+let connect t ~wire ~dst =
+  check_wire t wire "Machine_model.connect";
+  check_node t dst "Machine_model.connect";
+  if owner t wire = dst then Error "a node cannot listen to its own wire"
+  else if List.mem dst t.sinks.(wire) then Error "wire already feeds this node"
+  else if t.in_used.(dst) >= t.in_capacity then Error "no input slot left"
+  else begin
+    t.in_used.(dst) <- t.in_used.(dst) + 1;
+    t.sinks.(wire) <- dst :: t.sinks.(wire);
+    Ok ()
+  end
+
+let put_value t ~wire v =
+  check_wire t wire "Machine_model.put_value";
+  if wire >= (owner t wire * t.out_capacity) + t.out_used.(owner t wire) then
+    invalid_arg "Machine_model.put_value: wire not allocated";
+  if not (List.mem v t.values.(wire)) then
+    t.values.(wire) <- v :: t.values.(wire)
+
+let reserve_external_in t ~dst ~label =
+  check_node t dst "Machine_model.reserve_external_in";
+  if t.in_used.(dst) >= t.in_capacity then Error "no input slot left"
+  else begin
+    t.in_used.(dst) <- t.in_used.(dst) + 1;
+    t.ext_in.(dst) <- label :: t.ext_in.(dst);
+    Ok ()
+  end
+
+let reserve_external_out t ~src ~label =
+  check_node t src "Machine_model.reserve_external_out";
+  match alloc_out_wire t src with
+  | Some w ->
+      t.ext_out.(src) <- (label, w) :: t.ext_out.(src);
+      Ok w
+  | None -> (
+      (* Share: an output wire fans out to siblings and up-links at
+         once, so tap the least-loaded existing wire. *)
+      let best = ref None in
+      for i = 0 to t.out_used.(src) - 1 do
+        let w = (src * t.out_capacity) + i in
+        let load = List.length t.values.(w) in
+        match !best with
+        | Some (_, l) when l <= load -> ()
+        | _ -> best := Some (w, load)
+      done;
+      match !best with
+      | None -> Error "no output wire left"
+      | Some (w, _) ->
+          t.ext_out.(src) <- (label, w) :: t.ext_out.(src);
+          Ok w)
+
+let wire_values t w =
+  check_wire t w "Machine_model.wire_values";
+  List.rev t.values.(w)
+
+let wire_sinks t w =
+  check_wire t w "Machine_model.wire_sinks";
+  List.rev t.sinks.(w)
+
+let used_out_wires t node =
+  check_node t node "Machine_model.used_out_wires";
+  List.init t.out_used.(node) (fun i -> (node * t.out_capacity) + i)
+
+let incoming t node =
+  check_node t node "Machine_model.incoming";
+  let acc = ref [] in
+  for w = (t.nodes * t.out_capacity) - 1 downto 0 do
+    if List.mem node t.sinks.(w) then acc := (w, List.rev t.values.(w)) :: !acc
+  done;
+  !acc
+
+let external_ins t node =
+  check_node t node "Machine_model.external_ins";
+  List.rev t.ext_in.(node)
+
+let external_outs t node =
+  check_node t node "Machine_model.external_outs";
+  List.rev t.ext_out.(node)
+
+let max_wire_load t =
+  Array.fold_left (fun acc vs -> max acc (List.length vs)) 0 t.values
+
+let validate t =
+  let errors = ref [] in
+  (* Input-slot accounting per node. *)
+  for node = 0 to t.nodes - 1 do
+    let intra =
+      Array.fold_left
+        (fun acc sinks -> if List.mem node sinks then acc + 1 else acc)
+        0 t.sinks
+    in
+    let total = intra + List.length t.ext_in.(node) in
+    if total <> t.in_used.(node) then
+      errors :=
+        Printf.sprintf "node %d: in-slot accounting mismatch (%d vs %d)" node
+          total t.in_used.(node)
+        :: !errors;
+    if total > t.in_capacity then
+      errors :=
+        Printf.sprintf "node %d: %d input connections exceed capacity %d" node
+          total t.in_capacity
+        :: !errors;
+    if t.out_used.(node) > t.out_capacity then
+      errors :=
+        Printf.sprintf "node %d: output wires exceed capacity" node :: !errors
+  done;
+  (* A wire never feeds its owner and never feeds the same node twice. *)
+  Array.iteri
+    (fun w sinks ->
+      if sinks <> [] then begin
+        let o = w / t.out_capacity in
+        if List.mem o sinks then
+          errors := Printf.sprintf "wire %d feeds its owner" w :: !errors;
+        if List.length (List.sort_uniq compare sinks) <> List.length sinks
+        then errors := Printf.sprintf "wire %d has duplicate sinks" w :: !errors
+      end)
+    t.sinks;
+  match !errors with [] -> Ok () | es -> Error (String.concat "; " es)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>machine model: %d nodes, %d in / %d out wires"
+    t.nodes t.in_capacity t.out_capacity;
+  for node = 0 to t.nodes - 1 do
+    List.iter
+      (fun w ->
+        Format.fprintf ppf "@,  wire %d (node %d) -> [%s] values [%s]" w node
+          (String.concat "," (List.map string_of_int (wire_sinks t w)))
+          (String.concat "," (List.map string_of_int (wire_values t w))))
+      (used_out_wires t node)
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,91 @@
+(** Low-level wire model of one hierarchy level — the target of the
+    Mapper (§3, Fig. 7).
+
+    Where the Pattern Graph abstracts "cluster [a] can reach cluster
+    [b]", this module tracks the physical medium: every node owns
+    [out_capacity] output wires (each broadcastable to any subset of the
+    other nodes) and [in_capacity] input wires (each tied to exactly one
+    source output wire).  At the set levels of DSPFabric both equal the
+    MUX capacity; at the leaf a CN has two input wires and one output
+    wire.  The Mapper distributes the copies reported on the PG arcs
+    over these wires, balancing the per-wire value load, merging
+    broadcasts onto a single source wire, and pre-allocating the wires
+    that glue this level to its father (§4.1, Fig. 11). *)
+
+open Hca_ddg
+
+type node_id = int
+
+type wire_id = int
+(** Global output-wire identifier; [owner w = wire / out_capacity]. *)
+
+type t
+
+val create : nodes:int -> in_capacity:int -> out_capacity:int -> t
+
+val nodes : t -> int
+
+val in_capacity : t -> int
+
+val out_capacity : t -> int
+
+val clone : t -> t
+
+(** {1 Allocation} *)
+
+val alloc_out_wire : t -> node_id -> wire_id option
+(** Next unused output wire of the node; [None] when all wires are
+    taken. *)
+
+val free_out_wires : t -> node_id -> int
+
+val free_in_slots : t -> node_id -> int
+
+val connect : t -> wire:wire_id -> dst:node_id -> (unit, string) result
+(** Ties one input wire of [dst] to [wire].  Fails when [dst] has no
+    input slot left, when [dst] owns the wire, or when the pair is
+    already connected. *)
+
+val put_value : t -> wire:wire_id -> Instr.id -> unit
+(** Adds a value to the wire's payload (idempotent per value). *)
+
+val reserve_external_in : t -> dst:node_id -> label:int -> (unit, string) result
+(** Pre-allocates one input slot of [dst] for a wire arriving from the
+    outer level ([label] is the father wire index); these slots cannot
+    be used for intra-level copy distribution. *)
+
+val reserve_external_out : t -> src:node_id -> label:int -> (wire_id, string) result
+(** Binds the father wire [label] to an output wire of [src]: a fresh
+    wire when one is free, otherwise the least-loaded existing wire of
+    [src] — a node's output wire physically fans out to siblings {e and}
+    up-links at once, which is how the single-out-wire leaf CNs serve
+    both.  Fails only when [src] has no wire at all. *)
+
+(** {1 Queries} *)
+
+val owner : t -> wire_id -> node_id
+
+val wire_values : t -> wire_id -> Instr.id list
+
+val wire_sinks : t -> wire_id -> node_id list
+
+val used_out_wires : t -> node_id -> wire_id list
+
+val incoming : t -> node_id -> (wire_id * Instr.id list) list
+(** Intra-level input connections of a node with the payload each
+    carries (external reservations excluded). *)
+
+val external_ins : t -> node_id -> int list
+(** Father-wire labels reserved into this node. *)
+
+val external_outs : t -> node_id -> (int * wire_id) list
+
+val max_wire_load : t -> int
+(** Heaviest payload over all wires: the wire-pressure contribution to
+    the cluster MII. *)
+
+val validate : t -> (unit, string) result
+(** Re-checks every invariant (slot counts, single-source inputs);
+    used by tests and by the coherency checker. *)
+
+val pp : Format.formatter -> t -> unit

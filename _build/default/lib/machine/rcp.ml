@@ -1,0 +1,61 @@
+type t = {
+  clusters : int;
+  span : int;
+  issue_width : int;
+  mem_clusters : int list;
+  in_ports : int;
+}
+
+let make ?(clusters = 8) ?(span = 2) ?(issue_width = 1) ?mem_clusters
+    ~in_ports () =
+  if clusters < 3 then invalid_arg "Rcp.make: need at least 3 clusters";
+  if span < 1 || 2 * span >= clusters then
+    invalid_arg "Rcp.make: span out of range";
+  if issue_width < 1 then invalid_arg "Rcp.make: issue_width must be >= 1";
+  if in_ports < 1 then invalid_arg "Rcp.make: in_ports must be >= 1";
+  let mem_clusters =
+    match mem_clusters with
+    | Some l ->
+        List.iter
+          (fun c ->
+            if c < 0 || c >= clusters then
+              invalid_arg "Rcp.make: bad memory cluster index")
+          l;
+        List.sort_uniq compare l
+    | None -> List.init ((clusters + 1) / 2) (fun i -> 2 * i)
+  in
+  { clusters; span; issue_width; mem_clusters; in_ports }
+
+let default = make ~in_ports:2 ()
+
+let name t = Printf.sprintf "rcp-%d(ports=%d)" t.clusters t.in_ports
+
+let clusters t = t.clusters
+
+let in_ports t = t.in_ports
+
+let is_memory_cluster t c = List.mem c t.mem_clusters
+
+let potential_sources t c =
+  let offsets =
+    List.concat (List.init t.span (fun i -> [ -(i + 1); i + 1 ]))
+  in
+  List.map (fun o -> ((c + o) mod t.clusters + t.clusters) mod t.clusters)
+    offsets
+  |> List.sort_uniq compare
+
+let pattern_graph t =
+  let capacities =
+    Array.init t.clusters (fun c ->
+        {
+          Resource.alus = t.issue_width;
+          ags = (if is_memory_cluster t c then t.issue_width else 0);
+        })
+  in
+  let potential =
+    List.concat
+      (List.init t.clusters (fun dst ->
+           List.map (fun src -> (src, dst)) (potential_sources t dst)))
+  in
+  Pattern_graph.of_adjacency ~name:(name t) ~capacities ~max_in:t.in_ports
+    ~potential

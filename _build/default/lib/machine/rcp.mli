@@ -1,0 +1,41 @@
+(** Model of the Reconfigurable Co-Processor (RCP, §2.1).
+
+    A flat (non-hierarchical) ring of clusters: each cluster can
+    potentially receive values from its [span] nearest neighbours on
+    each side (Fig. 1 shows 8 clusters with 4 potential sources each),
+    but only [in_ports] input ports are available, so a feasible
+    topology selects a subset of the potential connections.  RCP is
+    heterogeneous: only some PEs issue memory instructions. *)
+
+type t
+
+val make :
+  ?clusters:int ->
+  ?span:int ->
+  ?issue_width:int ->
+  ?mem_clusters:int list ->
+  in_ports:int ->
+  unit ->
+  t
+(** Defaults: [clusters = 8], [span = 2] (i.e. 4 potential in-neighbours,
+    offsets ±1 and ±2 on the ring), [issue_width = 1], and memory
+    capability on the even clusters. *)
+
+val default : t
+(** 8 clusters, [in_ports = 2] — the configuration of Fig. 1 (b). *)
+
+val name : t -> string
+
+val clusters : t -> int
+
+val in_ports : t -> int
+
+val is_memory_cluster : t -> int -> bool
+
+val potential_sources : t -> int -> int list
+(** Ring neighbours a cluster may receive from. *)
+
+val pattern_graph : t -> Pattern_graph.t
+(** The PG fed to a single-level cluster assignment: potential arcs are
+    the ring connections, [max_in] is [in_ports], and non-memory
+    clusters have an empty AG entry in their resource table. *)

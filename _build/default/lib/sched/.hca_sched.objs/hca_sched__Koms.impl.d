@@ -1,0 +1,1 @@
+lib/sched/koms.ml: Modulo

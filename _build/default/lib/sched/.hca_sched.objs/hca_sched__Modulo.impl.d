@@ -1,0 +1,1 @@
+lib/sched/modulo.ml: Array Ddg Graph_algo Hashtbl Hca_ddg Instr List Mrt Opcode Printf Queue String

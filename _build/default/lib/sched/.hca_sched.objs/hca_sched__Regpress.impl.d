@@ -1,0 +1,1 @@
+lib/sched/regpress.ml: Array Ddg Hca_ddg Modulo

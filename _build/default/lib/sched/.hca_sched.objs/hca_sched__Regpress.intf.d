@@ -1,0 +1,1 @@
+lib/sched/regpress.mli: Ddg Hca_ddg Modulo

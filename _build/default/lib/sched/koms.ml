@@ -1,0 +1,23 @@
+type t = {
+  stages : int;
+  predicates : int;
+  fill_drain_cycles : int;
+  kernel_cycles_per_iter : int;
+}
+
+let analyse (s : Modulo.schedule) =
+  {
+    stages = s.Modulo.stages;
+    predicates = s.Modulo.stages;
+    fill_drain_cycles = (s.Modulo.stages - 1) * s.Modulo.ii * 2;
+    kernel_cycles_per_iter = s.Modulo.ii;
+  }
+
+let total_cycles t ~trip =
+  if trip < 0 then invalid_arg "Koms.total_cycles: negative trip count";
+  (trip + t.stages - 1) * t.kernel_cycles_per_iter
+
+let speedup_vs_unpipelined t ~trip ~schedule_length =
+  let pipelined = total_cycles t ~trip in
+  if pipelined = 0 then 1.0
+  else float_of_int (trip * schedule_length) /. float_of_int pipelined

@@ -1,0 +1,24 @@
+(** Kernel-Only Modulo Scheduling statistics (Rau, Schlansker, Tirumalai
+    1992): RCP and DSPFabric execute only the pipelined kernel — the
+    prologue and epilogue are folded into it with full predication and a
+    cyclic program counter (§2.2).
+
+    The cost of the scheme is one predicate (staging register) per
+    pipeline stage and [stages - 1] iterations of fill and of drain
+    overhead around a loop of [trip] iterations. *)
+
+type t = {
+  stages : int;
+  predicates : int;  (** staging predicates needed: one per stage *)
+  fill_drain_cycles : int;  (** [(stages - 1) * ii * 2] *)
+  kernel_cycles_per_iter : int;  (** the II *)
+}
+
+val analyse : Modulo.schedule -> t
+
+val total_cycles : t -> trip:int -> int
+(** Wall-clock cycles to run [trip] iterations kernel-only:
+    [(trip + stages - 1) * ii]. *)
+
+val speedup_vs_unpipelined : t -> trip:int -> schedule_length:int -> float
+(** Against issuing one iteration every [schedule_length] cycles. *)

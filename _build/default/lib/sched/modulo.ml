@@ -1,0 +1,191 @@
+open Hca_ddg
+
+type schedule = {
+  ii : int;
+  cycle_of : int array;
+  stages : int;
+  occupancy : float;
+  backtracks : int;
+}
+
+type params = {
+  copy_latency : int;
+  budget_ratio : int;
+  max_ii : int;
+}
+
+let default_params = { copy_latency = 1; budget_ratio = 8; max_ii = 512 }
+
+let effective_latency ~copy_latency ~cn_of_instr (e : Ddg.edge) =
+  if cn_of_instr.(e.src) = cn_of_instr.(e.dst) then e.latency
+  else e.latency + copy_latency
+
+let is_memory ddg i = Opcode.is_memory (Ddg.instr ddg i).Instr.opcode
+
+(* One II attempt, following Rau's algorithm: operations in priority
+   order (height first); each op is placed at the earliest
+   dependence-legal cycle, scanning at most ii slots for a free column;
+   when every column is taken, the op is force-placed and the conflicting
+   op is evicted and rescheduled later.  A budget bounds the total number
+   of placements. *)
+let attempt ~params ~ddg ~cn_of_instr ~cns ~dma_ports ~ii =
+  let n = Ddg.size ddg in
+  let mrt = Mrt.create ~ii ~cns ~dma_ports in
+  let cycle_of = Array.make n min_int in
+  let height = Graph_algo.height ddg in
+  let order =
+    List.init n (fun i -> i)
+    |> List.sort (fun a b -> compare (-height.(a), a) (-height.(b), b))
+  in
+  let never_scheduled = Array.make n true in
+  let budget = ref (params.budget_ratio * n) in
+  let backtracks = ref 0 in
+  let queue = Queue.create () in
+  List.iter (fun i -> Queue.push i queue) order;
+  let earliest op =
+    List.fold_left
+      (fun acc (e : Ddg.edge) ->
+        if cycle_of.(e.src) = min_int then acc
+        else
+          let lat = effective_latency ~copy_latency:params.copy_latency ~cn_of_instr e in
+          max acc (cycle_of.(e.src) + lat - (ii * e.distance)))
+      0 (Ddg.preds ddg op)
+  in
+  let unschedule op =
+    if cycle_of.(op) <> min_int then begin
+      Mrt.release mrt ~cn:cn_of_instr.(op) ~cycle:cycle_of.(op)
+        ~memory:(is_memory ddg op);
+      cycle_of.(op) <- min_int;
+      incr backtracks;
+      Queue.push op queue
+    end
+  in
+  let evict_conflicting op cycle =
+    (* The op claiming (cn, cycle mod ii): find and unschedule it. *)
+    let cn = cn_of_instr.(op) in
+    let col = ((cycle mod ii) + ii) mod ii in
+    let victim = ref None in
+    Array.iteri
+      (fun j cj ->
+        if
+          !victim = None && j <> op && cj <> min_int && cn_of_instr.(j) = cn
+          && ((cj mod ii) + ii) mod ii = col
+        then victim := Some j)
+      cycle_of;
+    (match !victim with
+    | Some j -> unschedule j
+    | None ->
+        (* The conflict is on the DMA ports: evict any memory op in the
+           column. *)
+        Array.iteri
+          (fun j cj ->
+            if
+              !victim = None && j <> op && cj <> min_int
+              && is_memory ddg j
+              && ((cj mod ii) + ii) mod ii = col
+            then begin
+              victim := Some j;
+              unschedule j
+            end)
+          cycle_of);
+    !victim <> None
+  in
+  let place op cycle =
+    cycle_of.(op) <- cycle;
+    (* Scheduling [op] invalidates successors placed too early. *)
+    List.iter
+      (fun (e : Ddg.edge) ->
+        if e.dst <> op && cycle_of.(e.dst) <> min_int then begin
+          let lat =
+            effective_latency ~copy_latency:params.copy_latency ~cn_of_instr e
+          in
+          if cycle_of.(e.dst) < cycle + lat - (ii * e.distance) then
+            unschedule e.dst
+        end)
+      (Ddg.succs ddg op)
+  in
+  let ok = ref true in
+  while !ok && not (Queue.is_empty queue) do
+    if !budget <= 0 then ok := false
+    else begin
+      decr budget;
+      let op = Queue.pop queue in
+      if cycle_of.(op) = min_int then begin
+        let e0 = earliest op in
+        let e0 =
+          if never_scheduled.(op) then e0
+          else max e0 1 (* forward progress on re-schedule *)
+        in
+        never_scheduled.(op) <- false;
+        let cn = cn_of_instr.(op) in
+        let memory = is_memory ddg op in
+        let rec scan c tries =
+          if tries = 0 then None
+          else if Mrt.reserve mrt ~cn ~cycle:c ~memory then Some c
+          else scan (c + 1) (tries - 1)
+        in
+        match scan e0 ii with
+        | Some c -> place op c
+        | None ->
+            (* Force placement at the earliest cycle. *)
+            if evict_conflicting op e0 then begin
+              if Mrt.reserve mrt ~cn ~cycle:e0 ~memory then place op e0
+              else Queue.push op queue
+            end
+            else ok := false
+      end
+    end
+  done;
+  if (not !ok) || Array.exists (fun c -> c = min_int) cycle_of then None
+  else begin
+    let max_cycle = Array.fold_left max 0 cycle_of in
+    Some
+      {
+        ii;
+        cycle_of = Array.copy cycle_of;
+        stages = (max_cycle / ii) + 1;
+        occupancy = Mrt.occupancy mrt;
+        backtracks = !backtracks;
+      }
+  end
+
+let run ?(params = default_params) ~ddg ~cn_of_instr ~cns ~dma_ports ~start_ii
+    () =
+  if Array.length cn_of_instr <> Ddg.size ddg then
+    Error "cn_of_instr length mismatch"
+  else begin
+    let rec climb ii =
+      if ii > params.max_ii then
+        Error (Printf.sprintf "no schedule up to II=%d" params.max_ii)
+      else
+        match attempt ~params ~ddg ~cn_of_instr ~cns ~dma_ports ~ii with
+        | Some s -> Ok s
+        | None -> climb (ii + 1)
+    in
+    climb (max 1 start_ii)
+  end
+
+let validate ~ddg ~cn_of_instr ~copy_latency s =
+  let errors = ref [] in
+  Ddg.iter_edges
+    (fun e ->
+      let lat = effective_latency ~copy_latency ~cn_of_instr e in
+      if s.cycle_of.(e.dst) < s.cycle_of.(e.src) + lat - (s.ii * e.distance)
+      then
+        errors :=
+          Printf.sprintf "dependence %%%d->%%%d violated" e.src e.dst
+          :: !errors)
+    ddg;
+  (* One issue per CN per column. *)
+  let seen = Hashtbl.create 64 in
+  Array.iteri
+    (fun i c ->
+      let key = (cn_of_instr.(i), ((c mod s.ii) + s.ii) mod s.ii) in
+      if Hashtbl.mem seen key then
+        errors :=
+          Printf.sprintf "issue conflict on CN %d column %d" (fst key)
+            (snd key)
+          :: !errors
+      else Hashtbl.replace seen key ())
+    s.cycle_of;
+  match !errors with [] -> Ok () | es -> Error (String.concat "; " es)

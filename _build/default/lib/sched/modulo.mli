@@ -1,0 +1,49 @@
+(** Iterative Modulo Scheduling (Rau, MICRO'94) over a clusterised DDG —
+    the compilation phase the paper defers to future work (§5), built
+    here so the reproduction can {e validate} that the MII reported by
+    HCA is actually achievable by a schedule.
+
+    The scheduler works on the original DDG plus the cluster assignment:
+    an edge between instructions on different CNs pays [copy_latency]
+    extra cycles and charges the receive on the consumer's CN implicitly
+    through its issue slot.  Resources are the per-CN single issue slots
+    and the shared DMA ports, tracked in a {!Mrt.t}. *)
+
+open Hca_ddg
+
+type schedule = {
+  ii : int;  (** achieved initiation interval *)
+  cycle_of : int array;  (** issue cycle per instruction *)
+  stages : int;  (** kernel-only software-pipeline stage count *)
+  occupancy : float;
+  backtracks : int;
+}
+
+type params = {
+  copy_latency : int;  (** extra cycles on inter-CN edges (default 1) *)
+  budget_ratio : int;  (** eviction budget per II attempt, x instructions *)
+  max_ii : int;
+}
+
+val default_params : params
+
+val run :
+  ?params:params ->
+  ddg:Ddg.t ->
+  cn_of_instr:int array ->
+  cns:int ->
+  dma_ports:int ->
+  start_ii:int ->
+  unit ->
+  (schedule, string) result
+(** Climbs from [start_ii] until a schedule fits or [max_ii] is hit. *)
+
+val validate :
+  ddg:Ddg.t ->
+  cn_of_instr:int array ->
+  copy_latency:int ->
+  schedule ->
+  (unit, string) result
+(** Re-checks every dependence [start(v) >= start(u) + lat - ii*dist]
+    and every resource column — the schedule analogue of the coherency
+    checker. *)

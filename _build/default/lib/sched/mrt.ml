@@ -1,0 +1,56 @@
+type t = {
+  ii : int;
+  cns : int;
+  dma_ports : int;
+  issue : bool array;  (* cns * ii, true = taken *)
+  dma : int array;  (* per column *)
+}
+
+let create ~ii ~cns ~dma_ports =
+  if ii <= 0 || cns <= 0 || dma_ports <= 0 then
+    invalid_arg "Mrt.create: non-positive size";
+  {
+    ii;
+    cns;
+    dma_ports;
+    issue = Array.make (cns * ii) false;
+    dma = Array.make ii 0;
+  }
+
+let ii t = t.ii
+
+let column t cycle = ((cycle mod t.ii) + t.ii) mod t.ii
+
+let slot t cn cycle =
+  if cn < 0 || cn >= t.cns then invalid_arg "Mrt: bad CN";
+  (cn * t.ii) + column t cycle
+
+let issue_free t ~cn ~cycle = not t.issue.(slot t cn cycle)
+
+let dma_free t ~cycle = t.dma.(column t cycle) < t.dma_ports
+
+let reserve t ~cn ~cycle ~memory =
+  if (not (issue_free t ~cn ~cycle)) || (memory && not (dma_free t ~cycle))
+  then false
+  else begin
+    t.issue.(slot t cn cycle) <- true;
+    if memory then begin
+      let c = column t cycle in
+      t.dma.(c) <- t.dma.(c) + 1
+    end;
+    true
+  end
+
+let release t ~cn ~cycle ~memory =
+  let s = slot t cn cycle in
+  if not t.issue.(s) then invalid_arg "Mrt.release: slot not reserved";
+  t.issue.(s) <- false;
+  if memory then begin
+    let c = column t cycle in
+    if t.dma.(c) <= 0 then invalid_arg "Mrt.release: DMA not reserved";
+    t.dma.(c) <- t.dma.(c) - 1
+  end
+
+let occupancy t =
+  let used = Array.fold_left (fun n b -> if b then n + 1 else n) 0 t.issue in
+  float_of_int used /. float_of_int (t.cns * t.ii)

@@ -1,0 +1,51 @@
+open Hca_ddg
+
+type t = {
+  max_live : int;
+  per_cn : (int * int) list;
+  total_lifetime : int;
+}
+
+let analyse ~ddg ~cn_of_instr ~copy_latency (s : Modulo.schedule) =
+  let n = Ddg.size ddg in
+  (* Lifetime of each value on its defining CN: from definition to the
+     latest (modulo-adjusted) use. *)
+  let last_use = Array.make n 0 in
+  Ddg.iter_edges
+    (fun e ->
+      let extra =
+        if cn_of_instr.(e.src) = cn_of_instr.(e.dst) then 0 else copy_latency
+      in
+      let use = s.Modulo.cycle_of.(e.dst) + (s.Modulo.ii * e.distance) + extra in
+      if use > last_use.(e.src) then last_use.(e.src) <- use)
+    ddg;
+  let total_lifetime = ref 0 in
+  let cns = Array.fold_left max 0 cn_of_instr + 1 in
+  (* Live counts folded into the modulo window, per CN. *)
+  let live = Array.make (cns * s.Modulo.ii) 0 in
+  for i = 0 to n - 1 do
+    let def = s.Modulo.cycle_of.(i) in
+    if last_use.(i) > def then begin
+      let lifetime = last_use.(i) - def in
+      total_lifetime := !total_lifetime + lifetime;
+      let cn = cn_of_instr.(i) in
+      (* A value live for L cycles occupies column (def+k) mod ii for
+         k = 0..L-1, with multiplicity for overlapped iterations. *)
+      for k = 0 to lifetime - 1 do
+        let col = (def + k) mod s.Modulo.ii in
+        live.((cn * s.Modulo.ii) + col) <- live.((cn * s.Modulo.ii) + col) + 1
+      done
+    end
+  done;
+  let per_cn = ref [] in
+  let max_live = ref 0 in
+  for cn = cns - 1 downto 0 do
+    let m = ref 0 in
+    for col = 0 to s.Modulo.ii - 1 do
+      if live.((cn * s.Modulo.ii) + col) > !m then
+        m := live.((cn * s.Modulo.ii) + col)
+    done;
+    if !m > 0 then per_cn := (cn, !m) :: !per_cn;
+    if !m > !max_live then max_live := !m
+  done;
+  { max_live = !max_live; per_cn = !per_cn; total_lifetime = !total_lifetime }

@@ -1,0 +1,25 @@
+(** Register-pressure estimation over a modulo schedule: the
+    scheduling-aware cost factor the paper plans to fold into the HCA
+    objective function (§5, future work).
+
+    In a modulo schedule with initiation interval [ii], a value defined
+    at cycle [d] and last used at cycle [u] is live for [u - d] cycles
+    and therefore occupies [ceil ((u - d) / ii)] overlapping rotating
+    registers in the kernel.  MaxLive per CN approximates the rotating
+    register-file demand. *)
+
+open Hca_ddg
+
+type t = {
+  max_live : int;  (** worst per-CN simultaneous live values *)
+  per_cn : (int * int) list;  (** (cn, max_live) for occupied CNs *)
+  total_lifetime : int;  (** sum of value lifetimes, the paper's
+                             "lifetime of the temporaries" *)
+}
+
+val analyse :
+  ddg:Ddg.t ->
+  cn_of_instr:int array ->
+  copy_latency:int ->
+  Modulo.schedule ->
+  t

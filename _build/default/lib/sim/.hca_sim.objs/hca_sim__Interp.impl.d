@@ -1,0 +1,1 @@
+lib/sim/interp.ml: Array Ddg Format Graph_algo Hca_ddg Instr List Opcode Semantics

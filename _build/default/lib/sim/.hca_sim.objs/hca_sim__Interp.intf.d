@@ -1,0 +1,1 @@
+lib/sim/interp.mli: Ddg Format Hca_ddg Instr Semantics

@@ -1,0 +1,1 @@
+lib/sim/machine_sim.ml: Array Ddg Hashtbl Hca_ddg Hca_sched Instr Interp List Opcode Printf Semantics

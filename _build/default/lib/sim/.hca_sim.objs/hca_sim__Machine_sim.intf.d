@@ -1,0 +1,1 @@
+lib/sim/machine_sim.mli: Ddg Hca_ddg Hca_sched Interp

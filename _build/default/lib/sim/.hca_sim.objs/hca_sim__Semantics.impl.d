@@ -1,0 +1,1 @@
+lib/sim/semantics.ml: Fun Hca_ddg Int32 List Opcode

@@ -1,0 +1,105 @@
+open Hca_ddg
+
+type stats = {
+  trace : Interp.trace;
+  cycles : int;
+  issued : int;
+  max_inflight : int;
+}
+
+let run ?(iterations = 8) ~ddg ~cn_of_node ~schedule () =
+  let n = Ddg.size ddg in
+  if Array.length cn_of_node <> n then Error "cn_of_node length mismatch"
+  else begin
+    let ii = schedule.Hca_sched.Modulo.ii in
+    let cycle_of = schedule.Hca_sched.Modulo.cycle_of in
+    (* One event per (instruction, iteration), globally cycle-ordered;
+       ties broken by CN id (distinct CNs issue in parallel). *)
+    let events =
+      List.concat_map
+        (fun i ->
+          List.init iterations (fun k -> (cycle_of.(i) + (k * ii), i, k)))
+        (List.init n (fun i -> i))
+      |> List.sort compare
+    in
+    let values = Array.make (n * iterations) 0l in
+    let produced = Array.make (n * iterations) (-1) in
+    let store_events = ref [] in
+    let exception Hazard of string in
+    try
+      let last_issue = Hashtbl.create 64 in
+      (* Pipeline depth: iterations whose windows overlap — the
+         schedule's stage count, bounded by the trip count. *)
+      let max_inflight =
+        min iterations ((Array.fold_left max 0 cycle_of / ii) + 1)
+      in
+      List.iter
+        (fun (cycle, i, k) ->
+          let cn = cn_of_node.(i) in
+          (match Hashtbl.find_opt last_issue (cn, cycle) with
+          | Some j when j <> i ->
+              raise
+                (Hazard
+                   (Printf.sprintf "CN %d double issue at cycle %d (%%%d, %%%d)"
+                      cn cycle j i))
+          | _ -> Hashtbl.replace last_issue (cn, cycle) i);
+          let instr = Ddg.instr ddg i in
+          let operands =
+            List.map
+              (fun (e : Ddg.edge) ->
+                let src_iter = k - e.distance in
+                if src_iter < 0 then Semantics.initial e.src
+                else begin
+                  let idx = (e.src * iterations) + src_iter in
+                  if produced.(idx) < 0 then
+                    raise
+                      (Hazard
+                         (Printf.sprintf
+                            "%%%d@%d reads %%%d@%d before it is produced" i k
+                            e.src src_iter));
+                  if produced.(idx) > cycle then
+                    raise
+                      (Hazard
+                         (Printf.sprintf
+                            "%%%d@%d (cycle %d) reads %%%d@%d produced at \
+                             cycle %d"
+                            i k cycle e.src src_iter produced.(idx)));
+                  values.(idx)
+                end)
+              (Ddg.preds ddg i)
+          in
+          let v = Semantics.eval instr.Instr.opcode operands in
+          let idx = (i * iterations) + k in
+          values.(idx) <- v;
+          produced.(idx) <- cycle;
+          if instr.Instr.opcode = Opcode.Store then
+            let address = match operands with a :: _ -> a | [] -> 0l in
+            store_events :=
+              { Interp.store = i; iteration = k; address; value = v }
+              :: !store_events)
+        events;
+      let cycles =
+        List.fold_left (fun acc (c, _, _) -> max acc (c + 1)) 0 events
+      in
+      Ok
+        {
+          trace = List.rev !store_events;
+          cycles;
+          issued = List.length events;
+          max_inflight;
+        }
+    with Hazard m -> Error m
+  end
+
+let check_against_reference ?(iterations = 8) ~original ~expanded ~cn_of_node
+    ~schedule () =
+  match run ~iterations ~ddg:expanded ~cn_of_node ~schedule () with
+  | Error _ as e -> e
+  | Ok stats ->
+      let reference = Interp.run ~iterations original in
+      let name_in g i = (Ddg.instr g i).Instr.name in
+      if
+        Interp.equal_trace ~by_name:(name_in original)
+          ~by_name':(name_in expanded) reference stats.trace
+      then Ok stats
+      else Error "store trace diverges from the reference interpretation"

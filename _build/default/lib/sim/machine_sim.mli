@@ -1,0 +1,47 @@
+(** Timed simulator of the clusterised, modulo-scheduled kernel: the
+    end-to-end validation the paper's planned on-silicon prototype would
+    have provided.
+
+    Events (one per instruction per iteration) execute in global cycle
+    order — [cycle_of(i) + iteration * II] — exactly as the software
+    pipeline would issue them on the machine.  The simulator re-checks
+    dynamically that every operand was produced in an earlier cycle
+    (catching any schedule-validation gap) and that no CN issues twice
+    in a cycle; it then compares the store trace against the reference
+    interpreter on the original DDG, proving the whole
+    HCA + post-processing + scheduling pipeline preserves the kernel's
+    semantics. *)
+
+open Hca_ddg
+
+type stats = {
+  trace : Interp.trace;  (** store trace of the simulated execution *)
+  cycles : int;  (** last issue cycle + 1 *)
+  issued : int;  (** dynamic instruction count *)
+  max_inflight : int;
+      (** peak simultaneously live iterations — the software-pipeline
+          depth actually exercised *)
+}
+
+val run :
+  ?iterations:int ->
+  ddg:Ddg.t ->
+  cn_of_node:int array ->
+  schedule:Hca_sched.Modulo.schedule ->
+  unit ->
+  (stats, string) result
+(** Simulates [iterations] (default 8) iterations of the (expanded) DDG
+    under the schedule.  Fails on a dynamic hazard: an operand read
+    before it was produced, or two issues on one CN in the same cycle. *)
+
+val check_against_reference :
+  ?iterations:int ->
+  original:Ddg.t ->
+  expanded:Ddg.t ->
+  cn_of_node:int array ->
+  schedule:Hca_sched.Modulo.schedule ->
+  unit ->
+  (stats, string) result
+(** {!run} on the expanded DDG, then trace equivalence against
+    {!Interp.run} on the original: the machine execution must store the
+    same values at the same addresses in the same iterations. *)

@@ -1,0 +1,77 @@
+open Hca_ddg
+
+type value = int32
+
+(* splitmix-style scramble, cheap and stable across runs *)
+let scramble x =
+  let x = Int32.mul (Int32.logxor x (Int32.shift_right_logical x 15)) 0x2c1b3c6dl in
+  let x = Int32.mul (Int32.logxor x (Int32.shift_right_logical x 12)) 0x297a2d39l in
+  Int32.logxor x (Int32.shift_right_logical x 15)
+
+let load_image addr = scramble (Int32.add addr 0x9e37l)
+
+let initial id = scramble (Int32.of_int (id + 0x51ed))
+
+let clip v = if v < 0l then 0l else if v > 255l then 255l else v
+
+let bool_of v = if v <> 0l then 1l else 0l
+
+let eval op args =
+  let unary f = match args with
+    | a :: _ -> f a
+    | [] -> invalid_arg ("Semantics.eval: arity of " ^ Opcode.mnemonic op)
+  in
+  (* Fold over however many operands the dependence edges supply: the
+     hand-written kernels use exact arities, the synthetic generator
+     wires 1..2 operands freely. *)
+  let binary f = match args with
+    | [] -> invalid_arg ("Semantics.eval: arity of " ^ Opcode.mnemonic op)
+    | a :: rest -> List.fold_left f a rest
+  in
+  match op with
+  | Opcode.Add -> (
+      (* Inductions and accumulators appear as 1-ary adds. *)
+      match args with
+      | [ a ] -> Int32.add a 1l
+      | [ a; b ] -> Int32.add a b
+      | _ -> invalid_arg "Semantics.eval: arity of add")
+  | Opcode.Sub -> binary Int32.sub
+  | Opcode.Mul -> binary Int32.mul
+  | Opcode.Mac -> (
+      match args with
+      | a :: b :: c :: _ -> Int32.add a (Int32.mul b c)
+      | [ a; b ] -> Int32.mul a b
+      | [ a ] -> a
+      | [] -> invalid_arg "Semantics.eval: arity of mac")
+  | Opcode.Shl -> unary (fun a -> Int32.shift_left a 2)
+  | Opcode.Shr -> unary (fun a -> Int32.shift_right a 3)
+  | Opcode.And_ -> binary Int32.logand
+  | Opcode.Or_ -> binary Int32.logor
+  | Opcode.Xor -> binary Int32.logxor
+  | Opcode.Min -> binary min
+  | Opcode.Max -> binary max
+  | Opcode.Abs -> unary Int32.abs
+  | Opcode.Clip -> unary clip
+  | Opcode.Cmp -> (
+      match args with
+      | a :: b :: _ -> if a < b then 1l else 0l
+      | [ a ] -> if a < 0l then 1l else 0l
+      | [] -> invalid_arg "Semantics.eval: arity of cmp")
+  | Opcode.Sel -> (
+      match args with
+      | c :: a :: b :: _ -> if bool_of c = 1l then a else b
+      | [ c; a ] -> if bool_of c = 1l then a else 0l
+      | [ a ] -> a
+      | [] -> invalid_arg "Semantics.eval: arity of sel")
+  | Opcode.Mov | Opcode.Recv -> unary Fun.id
+  | Opcode.Const k -> Int32.of_int k
+  | Opcode.Agen -> (
+      match args with
+      | [] -> 0l
+      | a :: rest -> List.fold_left Int32.add a rest)
+  | Opcode.Load -> unary (fun addr -> load_image addr)
+  | Opcode.Store -> (
+      match args with
+      | [ v ] -> v
+      | _addr :: v :: _ -> v
+      | [] -> invalid_arg "Semantics.eval: arity of store")

@@ -1,0 +1,28 @@
+(** Executable semantics of the kernel IR, shared by the reference
+    interpreter and the machine simulator.
+
+    Values are 32-bit integers (wrapped at the boundaries, like the
+    DSPFabric datapath).  Memory is a synthetic read-only image — a
+    deterministic hash of the address — plus a write log: media kernels
+    stream data through, so the observable behaviour of one loop is
+    exactly its store trace. *)
+
+type value = int32
+
+val load_image : value -> value
+(** The synthetic memory image: [mem addr] is a deterministic function
+    of the address, so every run sees the same input stream. *)
+
+val initial : Hca_ddg.Instr.id -> value
+(** Pre-loop value of a loop-carried operand read before its producer
+    has run (iteration [k < distance]): deterministic per producer. *)
+
+val eval : Hca_ddg.Opcode.t -> value list -> value
+(** Applies an opcode to its operand values.  [Load] interprets its
+    first operand as the address and reads {!load_image}; [Store]
+    returns the stored value (the write log is kept by the callers);
+    [Recv] and [Mov] are identity on their single operand.
+    @raise Invalid_argument on an arity mismatch. *)
+
+val clip : value -> value
+(** Saturation helper: clamps to [0, 255] like a pixel datapath. *)

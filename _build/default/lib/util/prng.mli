@@ -1,0 +1,30 @@
+(** Deterministic splitmix64 pseudo-random number generator.
+
+    Used by the synthetic-workload generator and the randomised baselines
+    so that every experiment is reproducible from a seed, independently of
+    the OCaml stdlib [Random] state. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator from a 63-bit seed. *)
+
+val next : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val split : t -> t
+(** Derive an independent generator (for parallel sub-streams). *)

@@ -1,0 +1,50 @@
+type align = Left | Right
+
+type t = {
+  headers : (string * align) array;
+  rows : string list Vec.t;
+}
+
+let create headers = { headers = Array.of_list headers; rows = Vec.create () }
+
+let add_row t cells =
+  if List.length cells <> Array.length t.headers then
+    invalid_arg "Tabular.add_row: cell count mismatch";
+  ignore (Vec.push t.rows cells)
+
+let pad align width s =
+  let n = width - String.length s in
+  if n <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make n ' '
+    | Right -> String.make n ' ' ^ s
+
+let render t =
+  let ncols = Array.length t.headers in
+  let widths = Array.map (fun (h, _) -> String.length h) t.headers in
+  Vec.iter
+    (fun row ->
+      List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) row)
+    t.rows;
+  let buf = Buffer.create 256 in
+  let emit_row cells =
+    List.iteri
+      (fun i c ->
+        let _, align = t.headers.(i) in
+        Buffer.add_string buf (pad align widths.(i) c);
+        if i < ncols - 1 then Buffer.add_string buf "  ")
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  emit_row (Array.to_list (Array.map fst t.headers));
+  Array.iteri
+    (fun i w ->
+      Buffer.add_string buf (String.make w '-');
+      if i < ncols - 1 then Buffer.add_string buf "  ")
+    widths;
+  Buffer.add_char buf '\n';
+  Vec.iter emit_row t.rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

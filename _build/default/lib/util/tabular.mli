@@ -1,0 +1,18 @@
+(** Minimal fixed-width ASCII table rendering, used by the benchmark
+    harness and the CLI to print paper-style result tables. *)
+
+type align = Left | Right
+
+type t
+
+val create : (string * align) list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Rows must have as many cells as there are headers. *)
+
+val render : t -> string
+(** Render with a header rule and aligned columns. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Array Chu_partition Dspfabric Flat_ica Hca_baseline Hca_core Hca_kernels Hca_machine List Option Random_assign Result Unified

@@ -1,0 +1,1 @@
+test/test_ddg.ml: Alcotest Array Ddg Ddg_io Graph_algo Hca_ddg Hca_kernels Instr List Mii Opcode Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Array Ddg Hca_ddg Hca_kernels Hca_machine Instr Kbuild List Mii Opcode Printf QCheck QCheck_alcotest Registry Synthetic

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Copy_flow Ddg Dspfabric Hca_ddg Hca_kernels Hca_machine List Machine_model Mii Opcode Option Pattern_graph Rcp Resource

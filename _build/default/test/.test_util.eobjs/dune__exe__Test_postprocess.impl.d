@@ -1,0 +1,1 @@
+test/test_postprocess.ml: Alcotest Array Ddg Dspfabric Hca_core Hca_ddg Hca_kernels Hca_machine Hca_sched Instr Lazy List Opcode Option Portfolio Postprocess Rcp Rcp_driver Report String Topology

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Ddg Hca_core Hca_ddg Hca_kernels Hca_machine Hca_sched Koms Modulo Mrt Opcode Option Regpress

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Ddg Dspfabric Hca_core Hca_ddg Hca_kernels Hca_machine Hca_sched Hca_sim Int32 Interp List Machine_sim Opcode Postprocess Report Semantics

@@ -1,0 +1,171 @@
+(* The kernels must match Table 1 of the paper exactly on every static
+   column; the synthetic generator must honour its parameters. *)
+
+open Hca_ddg
+open Hca_kernels
+
+let resources = Hca_machine.Dspfabric.resources Hca_machine.Dspfabric.reference
+
+(* (name, n_instr, mii_rec, mii_res) straight from Table 1. *)
+let table1 =
+  [
+    ("fir2dim", 57, 3, 2);
+    ("idcthor", 82, 1, 2);
+    ("mpeg2inter", 79, 6, 2);
+    ("h264deblocking", 214, 3, 4);
+  ]
+
+let check_kernel (name, n, rec_mii, res_mii) () =
+  match Registry.find name with
+  | None -> Alcotest.failf "kernel %s missing" name
+  | Some f ->
+      let g = f () in
+      Alcotest.(check int) "N_Instr" n (Ddg.size g);
+      Alcotest.(check int) "MIIRec" rec_mii (Mii.rec_mii g);
+      Alcotest.(check int) "MIIRes" res_mii (Mii.res_mii g resources)
+
+let test_registry_complete () =
+  Alcotest.(check (list string))
+    "paper order"
+    [ "fir2dim"; "idcthor"; "mpeg2inter"; "h264deblocking" ]
+    Registry.names;
+  Alcotest.(check bool) "unknown" true (Registry.find "nope" = None)
+
+let test_kernels_deterministic () =
+  List.iter
+    (fun (_, f) ->
+      let a = f () and b = f () in
+      Alcotest.(check bool) (Ddg.name a) true (Ddg.equal_structure a b))
+    Registry.all
+
+let test_kernels_have_stores () =
+  (* Every media loop writes its results out. *)
+  List.iter
+    (fun (name, f) ->
+      let g = f () in
+      let stores = Ddg.count g (fun i -> i.Instr.opcode = Opcode.Store) in
+      Alcotest.(check bool) (name ^ " has stores") true (stores > 0))
+    Registry.all
+
+let test_kernels_connected_consumers () =
+  (* No dangling ALU results: every non-store instruction is consumed
+     (stores and inductions close the dataflow). *)
+  List.iter
+    (fun (name, f) ->
+      let g = f () in
+      Array.iter
+        (fun (i : Instr.t) ->
+          if i.opcode <> Opcode.Store then
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: %%%d consumed" name i.id)
+              true
+              (Ddg.succs g i.id <> []))
+        (Ddg.instrs g))
+    Registry.all
+
+let test_kbuild_reduce () =
+  let b = Kbuild.create "t" in
+  let xs = List.init 9 (fun i -> Kbuild.const b i) in
+  let root = Kbuild.reduce b Opcode.Add xs in
+  let g = Kbuild.freeze b in
+  (* 9 leaves need 8 binary adds. *)
+  Alcotest.(check int) "nodes" (9 + 8) (Ddg.size g);
+  Alcotest.(check int) "root is last" root (Ddg.size g - 1)
+
+let test_kbuild_reduce_singleton () =
+  let b = Kbuild.create "t" in
+  let x = Kbuild.const b 1 in
+  Alcotest.(check int) "singleton" x (Kbuild.reduce b Opcode.Add [ x ])
+
+let test_kbuild_induction () =
+  let b = Kbuild.create "t" in
+  ignore (Kbuild.induction b ~step_ops:4 ());
+  let g = Kbuild.freeze b in
+  Alcotest.(check int) "step ops" 4 (Ddg.size g);
+  Alcotest.(check int) "rec mii" 4 (Mii.rec_mii g)
+
+let test_kbuild_carried () =
+  let b = Kbuild.create "t" in
+  let x = Kbuild.const b 1 in
+  let y = Kbuild.op_carried b Opcode.Add [ (x, 0); (x, 1) ] in
+  let g = Kbuild.freeze b in
+  let dists =
+    List.map (fun (e : Ddg.edge) -> e.distance) (Ddg.preds g y) |> List.sort compare
+  in
+  Alcotest.(check (list int)) "distances" [ 0; 1 ] dists
+
+let test_synthetic_size () =
+  List.iter
+    (fun size ->
+      let g = Synthetic.generate { Synthetic.default with size } in
+      Alcotest.(check int) "size" size (Ddg.size g))
+    [ 8; 33; 64; 200 ]
+
+let test_synthetic_deterministic () =
+  let p = { Synthetic.default with size = 50; seed = 99 } in
+  Alcotest.(check bool) "same seed" true
+    (Ddg.equal_structure (Synthetic.generate p) (Synthetic.generate p));
+  let p' = { p with seed = 100 } in
+  Alcotest.(check bool) "different seed" false
+    (Ddg.equal_structure (Synthetic.generate p) (Synthetic.generate p'))
+
+let test_synthetic_recurrence () =
+  let g =
+    Synthetic.generate
+      { Synthetic.default with recurrences = 2; recurrence_latency = 4 }
+  in
+  Alcotest.(check int) "rec mii" 4 (Mii.rec_mii g)
+
+let test_synthetic_mem_ratio () =
+  let g =
+    Synthetic.generate { Synthetic.default with size = 100; mem_ratio = 0.3 }
+  in
+  Alcotest.(check bool) "bounded memory" true (Ddg.memory_ops g <= 30)
+
+let test_synthetic_validation () =
+  Alcotest.check_raises "size" (Invalid_argument "Synthetic.generate: size must be >= 2")
+    (fun () -> ignore (Synthetic.generate { Synthetic.default with size = 1 }));
+  Alcotest.check_raises "mem ratio"
+    (Invalid_argument "Synthetic.generate: mem_ratio out of [0, 0.5]") (fun () ->
+      ignore (Synthetic.generate { Synthetic.default with mem_ratio = 0.9 }))
+
+let prop_synthetic_always_freezes =
+  QCheck.Test.make ~name:"synthetic kernels always freeze (acyclic intra)"
+    ~count:100
+    QCheck.(triple (int_range 4 120) (int_range 1 8) small_int)
+    (fun (size, layers, seed) ->
+      let g = Synthetic.generate { Synthetic.default with size; layers; seed } in
+      Ddg.size g = size)
+
+let () =
+  Alcotest.run "kernels"
+    [
+      ( "table1",
+        List.map
+          (fun ((name, _, _, _) as row) ->
+            Alcotest.test_case name `Quick (check_kernel row))
+          table1 );
+      ( "registry",
+        [
+          Alcotest.test_case "complete" `Quick test_registry_complete;
+          Alcotest.test_case "deterministic" `Quick test_kernels_deterministic;
+          Alcotest.test_case "stores" `Quick test_kernels_have_stores;
+          Alcotest.test_case "consumers" `Quick test_kernels_connected_consumers;
+        ] );
+      ( "kbuild",
+        [
+          Alcotest.test_case "reduce" `Quick test_kbuild_reduce;
+          Alcotest.test_case "reduce singleton" `Quick test_kbuild_reduce_singleton;
+          Alcotest.test_case "induction" `Quick test_kbuild_induction;
+          Alcotest.test_case "carried deps" `Quick test_kbuild_carried;
+        ] );
+      ( "synthetic",
+        [
+          Alcotest.test_case "size" `Quick test_synthetic_size;
+          Alcotest.test_case "deterministic" `Quick test_synthetic_deterministic;
+          Alcotest.test_case "recurrence" `Quick test_synthetic_recurrence;
+          Alcotest.test_case "mem ratio" `Quick test_synthetic_mem_ratio;
+          Alcotest.test_case "validation" `Quick test_synthetic_validation;
+          QCheck_alcotest.to_alcotest prop_synthetic_always_freezes;
+        ] );
+    ]

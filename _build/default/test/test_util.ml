@@ -1,0 +1,164 @@
+(* Unit and property tests for the utility library: Vec, Prng, Tabular. *)
+
+open Hca_util
+
+let test_vec_push_get () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Alcotest.(check int) "push returns index" i (Vec.push v (i * 2))
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  for i = 0 to 99 do
+    Alcotest.(check int) "get" (i * 2) (Vec.get v i)
+  done
+
+let test_vec_set () =
+  let v = Vec.create () in
+  ignore (Vec.push v 1);
+  ignore (Vec.push v 2);
+  Vec.set v 0 42;
+  Alcotest.(check int) "set" 42 (Vec.get v 0);
+  Alcotest.(check int) "untouched" 2 (Vec.get v 1)
+
+let test_vec_bounds () =
+  let v = Vec.create () in
+  ignore (Vec.push v 0);
+  Alcotest.check_raises "get out of bounds"
+    (Invalid_argument "Vec: index out of bounds") (fun () ->
+      ignore (Vec.get v 1));
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Vec: index out of bounds") (fun () ->
+      ignore (Vec.get v (-1)))
+
+let test_vec_iter_fold () =
+  let v = Vec.of_array [| 1; 2; 3; 4 |] in
+  Alcotest.(check int) "fold sum" 10 (Vec.fold ( + ) 0 v);
+  let seen = ref [] in
+  Vec.iteri (fun i x -> seen := (i, x) :: !seen) v;
+  Alcotest.(check (list (pair int int)))
+    "iteri order"
+    [ (0, 1); (1, 2); (2, 3); (3, 4) ]
+    (List.rev !seen);
+  Alcotest.(check bool) "exists" true (Vec.exists (fun x -> x = 3) v);
+  Alcotest.(check bool) "not exists" false (Vec.exists (fun x -> x = 9) v)
+
+let test_vec_to_array_copies () =
+  let v = Vec.of_array [| 1; 2 |] in
+  let a = Vec.to_array v in
+  a.(0) <- 99;
+  Alcotest.(check int) "to_array is a copy" 1 (Vec.get v 0)
+
+let test_prng_deterministic () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "same stream" (Prng.next a) (Prng.next b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 16 do
+    if Prng.next a <> Prng.next b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_prng_int_range () =
+  let rng = Prng.create 42 in
+  for _ = 1 to 1000 do
+    let x = Prng.int rng 17 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 17)
+  done
+
+let test_prng_int_bad_bound () =
+  let rng = Prng.create 1 in
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Prng.int rng 0))
+
+let test_prng_float_range () =
+  let rng = Prng.create 9 in
+  for _ = 1 to 1000 do
+    let x = Prng.float rng 2.5 in
+    Alcotest.(check bool) "in range" true (x >= 0.0 && x < 2.5)
+  done
+
+let test_prng_shuffle_permutation () =
+  let rng = Prng.create 5 in
+  let a = Array.init 64 (fun i -> i) in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 64 (fun i -> i)) sorted
+
+let test_prng_split_independent () =
+  let rng = Prng.create 11 in
+  let child = Prng.split rng in
+  (* The two streams should not be identical. *)
+  let differs = ref false in
+  for _ = 1 to 16 do
+    if Prng.next rng <> Prng.next child then differs := true
+  done;
+  Alcotest.(check bool) "split stream differs" true !differs
+
+let test_tabular_alignment () =
+  let t = Tabular.create [ ("name", Tabular.Left); ("n", Tabular.Right) ] in
+  Tabular.add_row t [ "a"; "1" ];
+  Tabular.add_row t [ "long-name"; "12345" ];
+  let out = Tabular.render t in
+  let lines = String.split_on_char '\n' out in
+  (match lines with
+  | header :: _ ->
+      Alcotest.(check bool)
+        "header padded" true
+        (String.length header >= String.length "long-name  12345")
+  | [] -> Alcotest.fail "no output");
+  Alcotest.(check bool) "contains rule" true (String.contains out '-')
+
+let test_tabular_arity_check () =
+  let t = Tabular.create [ ("a", Tabular.Left) ] in
+  Alcotest.check_raises "cell count"
+    (Invalid_argument "Tabular.add_row: cell count mismatch") (fun () ->
+      Tabular.add_row t [ "x"; "y" ])
+
+let prop_vec_roundtrip =
+  QCheck.Test.make ~name:"Vec.of_array |> to_array is identity" ~count:200
+    QCheck.(array small_int)
+    (fun a -> Hca_util.Vec.to_array (Hca_util.Vec.of_array a) = a)
+
+let prop_prng_bounded =
+  QCheck.Test.make ~name:"Prng.int stays within any bound" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Prng.create seed in
+      let x = Prng.int rng bound in
+      x >= 0 && x < bound)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "push/get" `Quick test_vec_push_get;
+          Alcotest.test_case "set" `Quick test_vec_set;
+          Alcotest.test_case "bounds" `Quick test_vec_bounds;
+          Alcotest.test_case "iter/fold" `Quick test_vec_iter_fold;
+          Alcotest.test_case "to_array copies" `Quick test_vec_to_array_copies;
+          QCheck_alcotest.to_alcotest prop_vec_roundtrip;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "int range" `Quick test_prng_int_range;
+          Alcotest.test_case "bad bound" `Quick test_prng_int_bad_bound;
+          Alcotest.test_case "float range" `Quick test_prng_float_range;
+          Alcotest.test_case "shuffle permutes" `Quick test_prng_shuffle_permutation;
+          Alcotest.test_case "split independent" `Quick test_prng_split_independent;
+          QCheck_alcotest.to_alcotest prop_prng_bounded;
+        ] );
+      ( "tabular",
+        [
+          Alcotest.test_case "alignment" `Quick test_tabular_alignment;
+          Alcotest.test_case "arity check" `Quick test_tabular_arity_check;
+        ] );
+    ]
