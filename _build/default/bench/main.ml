@@ -8,9 +8,16 @@
      bench/main.exe fig_rcp         -- Fig. 1: feasible topology on the RCP ring
      bench/main.exe fig_mapper      -- Fig. 9: broadcast merge + copy balancing
      bench/main.exe baselines       -- HCA vs unified / random / Chu partitioning
+     bench/main.exe optgap          -- HCA vs the exact SAT oracle (lib/exact)
      bench/main.exe sched           -- modulo scheduling on top of HCA (future work)
      bench/main.exe ablation        -- design-choice ablations (DESIGN.md §6)
      bench/main.exe bechamel        -- wall-clock micro benchmarks (Bechamel)
+
+   The global flag --json switches the per-kernel experiments (table1,
+   fig_scaling, extended, optgap) to newline-delimited JSON records on
+   stdout — one object per kernel with at least "kernel", "final_mii",
+   "copies" and "runtime_s" — so the bench trajectory can be tracked
+   across PRs by machines instead of eyeballs.
 
    Absolute numbers are NOT expected to match the paper (the substrate
    is a reconstruction); the shapes — who is legal, who degrades, where
@@ -22,7 +29,27 @@ open Hca_core
 
 let reference = Dspfabric.reference
 
-let heading title = Printf.printf "\n=== %s ===\n%!" title
+let json_mode = ref false
+
+let heading title = if not !json_mode then Printf.printf "\n=== %s ===\n%!" title
+
+(* One NDJSON record.  Values arrive already JSON-encoded (use the j*
+   helpers); OCaml's %S escaping is JSON-compatible for the plain ASCII
+   names used here. *)
+let emit_json ~experiment ~kernel fields =
+  Printf.printf "{\"experiment\":%S,\"kernel\":%S%s}\n%!" experiment kernel
+    (String.concat ""
+       (List.map (fun (k, v) -> Printf.sprintf ",%S:%s" k v) fields))
+
+let jint = string_of_int
+
+let jopt_int = function Some i -> string_of_int i | None -> "null"
+
+let jfloat = Printf.sprintf "%.6f"
+
+let jstr = Printf.sprintf "%S"
+
+let jbool = string_of_bool
 
 let left h = (h, Hca_util.Tabular.Left)
 
@@ -49,22 +76,34 @@ let table1 () =
       let r = Report.run reference ddg in
       let best, _ = Portfolio.run reference ddg in
       let optimum = Hca_baseline.Unified.mii ddg reference in
-      Hca_util.Tabular.add_row t
-        [
-          name;
-          string_of_int r.Report.n_instr;
-          string_of_int r.Report.mii_rec;
-          string_of_int r.Report.mii_res;
-          (if r.Report.legal then "yes" else "no");
-          (match r.Report.final_mii with Some m -> string_of_int m | None -> "-");
-          (match best.Report.final_mii with
-          | Some m when best.Report.legal -> string_of_int m
-          | _ -> "-");
-          string_of_int optimum;
-          string_of_int paper;
-        ])
+      if !json_mode then
+        emit_json ~experiment:"table1" ~kernel:name
+          [
+            ("n_instr", jint r.Report.n_instr);
+            ("legal", jbool r.Report.legal);
+            ("final_mii", jopt_int r.Report.final_mii);
+            ("portfolio_mii", jopt_int best.Report.final_mii);
+            ("unified_mii", jint optimum);
+            ("copies", jint r.Report.copies);
+            ("runtime_s", jfloat r.Report.runtime_s);
+          ]
+      else
+        Hca_util.Tabular.add_row t
+          [
+            name;
+            string_of_int r.Report.n_instr;
+            string_of_int r.Report.mii_rec;
+            string_of_int r.Report.mii_res;
+            (if r.Report.legal then "yes" else "no");
+            (match r.Report.final_mii with Some m -> string_of_int m | None -> "-");
+            (match best.Report.final_mii with
+            | Some m when best.Report.legal -> string_of_int m
+            | _ -> "-");
+            string_of_int optimum;
+            string_of_int paper;
+          ])
     Hca_kernels.Registry.all paper_final;
-  Hca_util.Tabular.print t
+  if not !json_mode then Hca_util.Tabular.print t
 
 (* ------------------------------------------------------------------ *)
 (* §5 bandwidth claim: sweep the MUX capacities.                       *)
@@ -119,24 +158,38 @@ let fig_scaling () =
       let violations =
         match flat.Hca_baseline.Flat_ica.outcome with
         | Some o ->
-            string_of_int (Hca_baseline.Flat_ica.hierarchy_violations reference o)
-        | None -> "failed"
+            Some (Hca_baseline.Flat_ica.hierarchy_violations reference o)
+        | None -> None
       in
-      Hca_util.Tabular.add_row t
-        [
-          name;
-          string_of_int hca.Report.explored_states;
-          Printf.sprintf "%.3f" hca.Report.runtime_s;
-          string_of_int flat.Hca_baseline.Flat_ica.explored;
-          Printf.sprintf "%.3f" flat.Hca_baseline.Flat_ica.runtime_s;
-          violations;
-        ])
+      if !json_mode then
+        emit_json ~experiment:"fig_scaling" ~kernel:name
+          [
+            ("final_mii", jopt_int hca.Report.final_mii);
+            ("copies", jint hca.Report.copies);
+            ("runtime_s", jfloat hca.Report.runtime_s);
+            ("hca_states", jint hca.Report.explored_states);
+            ("flat_states", jint flat.Hca_baseline.Flat_ica.explored);
+            ("flat_runtime_s", jfloat flat.Hca_baseline.Flat_ica.runtime_s);
+            ("flat_mux_violations", jopt_int violations);
+          ]
+      else
+        Hca_util.Tabular.add_row t
+          [
+            name;
+            string_of_int hca.Report.explored_states;
+            Printf.sprintf "%.3f" hca.Report.runtime_s;
+            string_of_int flat.Hca_baseline.Flat_ica.explored;
+            Printf.sprintf "%.3f" flat.Hca_baseline.Flat_ica.runtime_s;
+            (match violations with Some v -> string_of_int v | None -> "failed");
+          ])
     Hca_kernels.Registry.all;
-  Hca_util.Tabular.print t;
-  Printf.printf
-    "The flat view is also optimistic: its MUX-violation count shows how \
-     often\nthe 'legal' flat result could not actually be configured on the \
-     fabric.\n"
+  if not !json_mode then begin
+    Hca_util.Tabular.print t;
+    Printf.printf
+      "The flat view is also optimistic: its MUX-violation count shows how \
+       often\nthe 'legal' flat result could not actually be configured on the \
+       fabric.\n"
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 1: the RCP ring picks a feasible topology under K ports.        *)
@@ -313,6 +366,102 @@ let baselines () =
         ])
     Hca_kernels.Registry.all;
   Hca_util.Tabular.print t
+
+(* ------------------------------------------------------------------ *)
+(* Optimality gap: HCA vs the exact SAT oracle (lib/exact).             *)
+(* ------------------------------------------------------------------ *)
+
+let optgap () =
+  heading
+    "Optimality gap: HCA vs the exact SAT oracle on a scaled-down fabric \
+     (8 CNs, N=M=K=4)";
+  let fabric = Dspfabric.make ~fanouts:[| 2; 2; 2 |] ~n:4 ~m:4 ~k:4 () in
+  let synthetic size seed =
+    ( Printf.sprintf "syn%d" size,
+      fun () ->
+        Hca_kernels.Synthetic.generate
+          {
+            Hca_kernels.Synthetic.default with
+            size;
+            layers = 3;
+            recurrences = 1;
+            seed;
+          } )
+  in
+  (* Small kernels the oracle can close; the Table-1 loops then show the
+     graceful degradation to bounded-feasible under the time budget. *)
+  let kernels =
+    [ synthetic 10 1; synthetic 14 2; synthetic 18 3 ]
+    @ Hca_kernels.Registry.all
+  in
+  let t =
+    Hca_util.Tabular.create
+      [
+        left "Kernel"; right "N_Instr"; right "HCA final"; left "Oracle";
+        right "Oracle MII"; right "Lower bound"; right "Gap <="; right "SAT time(s)";
+      ]
+  in
+  List.iter
+    (fun (name, f) ->
+      let ddg = f () in
+      let n = Ddg.size ddg in
+      let budget_s = if n <= 24 then 10. else 5. in
+      let hca = Report.run fabric ddg in
+      let oracle = Hca_exact.Oracle.run ~budget_s fabric ddg in
+      let gap =
+        match (hca.Report.final_mii, hca.Report.legal) with
+        | Some achieved, true ->
+            (* Against the proven optimum when we have one, else against
+               the certified lower bound — an upper bound on the gap. *)
+            let denom =
+              match (oracle.Hca_exact.Oracle.status, oracle.Hca_exact.Oracle.final_mii) with
+              | Hca_exact.Oracle.Optimal, Some o -> Some o
+              | _ -> Some oracle.Hca_exact.Oracle.lower_bound
+            in
+            Option.map
+              (fun o -> Hca_baseline.Unified.optgap ~achieved ~oracle:o)
+              denom
+        | _ -> None
+      in
+      if !json_mode then
+        emit_json ~experiment:"optgap" ~kernel:name
+          [
+            ("n_instr", jint n);
+            ("hca_final_mii", jopt_int hca.Report.final_mii);
+            ("hca_legal", jbool hca.Report.legal);
+            ("status", jstr (Hca_exact.Oracle.status_to_string oracle.Hca_exact.Oracle.status));
+            ("final_mii", jopt_int oracle.Hca_exact.Oracle.final_mii);
+            ("lower_bound", jint oracle.Hca_exact.Oracle.lower_bound);
+            ("copies", jint oracle.Hca_exact.Oracle.copies);
+            ( "gap",
+              match gap with Some g -> jfloat g | None -> "null" );
+            ("sat_conflicts", jint oracle.Hca_exact.Oracle.explored);
+            ("runtime_s", jfloat oracle.Hca_exact.Oracle.runtime_s);
+          ]
+      else
+        Hca_util.Tabular.add_row t
+          [
+            name;
+            string_of_int n;
+            (match hca.Report.final_mii with
+            | Some m when hca.Report.legal -> string_of_int m
+            | _ -> "-");
+            Hca_exact.Oracle.status_to_string oracle.Hca_exact.Oracle.status;
+            (match oracle.Hca_exact.Oracle.final_mii with
+            | Some m -> string_of_int m
+            | None -> "-");
+            string_of_int oracle.Hca_exact.Oracle.lower_bound;
+            (match gap with Some g -> Printf.sprintf "%.2f" g | None -> "-");
+            Printf.sprintf "%.2f" oracle.Hca_exact.Oracle.runtime_s;
+          ])
+    kernels;
+  if not !json_mode then begin
+    Hca_util.Tabular.print t;
+    Printf.printf
+      "'optimal' rows certify the flat projected-MII optimum; on the rest \
+       the\ngap column is an upper bound computed against the certified \
+       lower bound.\n"
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Modulo scheduling on top of HCA: the paper's future work, validated. *)
@@ -557,21 +706,33 @@ let extended () =
       let r = Report.run reference ddg in
       let wires =
         match r.Report.result with
-        | Some res -> string_of_int (Topology.wire_count (Topology.of_result res))
-        | None -> "-"
+        | Some res -> Some (Topology.wire_count (Topology.of_result res))
+        | None -> None
       in
-      Hca_util.Tabular.add_row t
-        [
-          name;
-          string_of_int r.Report.n_instr;
-          string_of_int r.Report.ini_mii;
-          (if r.Report.legal then "yes" else "no");
-          (match r.Report.final_mii with Some m -> string_of_int m | None -> "-");
-          string_of_int r.Report.copies;
-          wires;
-        ])
+      if !json_mode then
+        emit_json ~experiment:"extended" ~kernel:name
+          [
+            ("n_instr", jint r.Report.n_instr);
+            ("ini_mii", jint r.Report.ini_mii);
+            ("legal", jbool r.Report.legal);
+            ("final_mii", jopt_int r.Report.final_mii);
+            ("copies", jint r.Report.copies);
+            ("runtime_s", jfloat r.Report.runtime_s);
+            ("wires", jopt_int wires);
+          ]
+      else
+        Hca_util.Tabular.add_row t
+          [
+            name;
+            string_of_int r.Report.n_instr;
+            string_of_int r.Report.ini_mii;
+            (if r.Report.legal then "yes" else "no");
+            (match r.Report.final_mii with Some m -> string_of_int m | None -> "-");
+            string_of_int r.Report.copies;
+            (match wires with Some w -> string_of_int w | None -> "-");
+          ])
     Hca_kernels.Extended.all;
-  Hca_util.Tabular.print t
+  if not !json_mode then Hca_util.Tabular.print t
 
 (* ------------------------------------------------------------------ *)
 
@@ -583,6 +744,7 @@ let experiments =
     ("fig_rcp", fig_rcp);
     ("fig_mapper", fig_mapper);
     ("baselines", baselines);
+    ("optgap", optgap);
     ("extended", extended);
     ("sched", sched);
     ("simulate", simulate);
@@ -591,8 +753,18 @@ let experiments =
   ]
 
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: (_ :: _ as names) ->
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--json" then begin
+          json_mode := true;
+          false
+        end
+        else true)
+      (List.tl (Array.to_list Sys.argv))
+  in
+  match args with
+  | _ :: _ as names ->
       List.iter
         (fun name ->
           match List.assoc_opt name experiments with

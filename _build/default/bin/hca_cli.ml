@@ -3,6 +3,7 @@
    Subcommands:
      stats  <kernel>   static DDG statistics and MII bounds
      run    <kernel>   full HCA pass on a DSPFabric instance
+     exact  <kernel>   SAT-based exact cluster-assignment oracle
      table1            reproduce Table 1 of the paper
      dot    <kernel>   DOT dump (optionally clustered by assignment)
      list              available kernels *)
@@ -21,7 +22,7 @@ let kernel_conv =
         Error
           (`Msg
             (Printf.sprintf "unknown kernel %S (try: %s)" s
-               (String.concat ", " Registry.names)))
+               (String.concat ", " Registry.sorted)))
   in
   let print ppf (name, _) = Format.pp_print_string ppf name in
   Arg.conv (parse, print)
@@ -382,14 +383,71 @@ let rcp_cmd =
     (Cmd.info "rcp" ~doc:"Map a kernel onto the RCP ring (Fig. 1)")
     Term.(const run $ kernel_arg $ ports)
 
+let exact_cmd =
+  let module O = Hca_exact.Oracle in
+  let run (name, f) fabric budget strict max_ii no_hca =
+    let ddg = f () in
+    Format.printf "kernel %s on %s@." name (Dspfabric.name fabric);
+    let oracle = O.run ~strict ~budget_s:budget ?max_ii fabric ddg in
+    Format.printf "%a@." O.pp oracle;
+    if not no_hca then begin
+      let report = Report.run fabric ddg in
+      match report.Report.final_mii with
+      | None -> Format.printf "HCA heuristic: no legal clusterisation@."
+      | Some hca -> (
+          Format.printf "HCA heuristic final MII: %d@." hca;
+          match (oracle.O.status, oracle.O.final_mii) with
+          | O.Optimal, Some exact ->
+              Format.printf "optimality gap: %.2f@."
+                (Hca_baseline.Unified.optgap ~achieved:hca ~oracle:exact)
+          | _ ->
+              if oracle.O.lower_bound > 0 then
+                Format.printf
+                  "gap upper bound: %.2f (vs certified lower bound %d)@."
+                  (Hca_baseline.Unified.optgap ~achieved:hca
+                     ~oracle:oracle.O.lower_bound)
+                  oracle.O.lower_bound)
+    end
+  in
+  let budget =
+    Arg.(
+      value & opt float 10.
+      & info [ "budget" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock budget for the whole MII binary search.")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Also encode structural MUX fan-in and out-wire clauses \
+                (models the fabric wiring instead of the certified \
+                lower-bound relaxation).")
+  in
+  let max_ii =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-ii" ] ~docv:"K" ~doc:"Cap the MII search range.")
+  in
+  let no_hca =
+    Arg.(
+      value & flag
+      & info [ "no-hca" ]
+          ~doc:"Skip the HCA heuristic run and gap comparison.")
+  in
+  Cmd.v
+    (Cmd.info "exact"
+       ~doc:"Exact SAT-based cluster-assignment oracle (optimality gap)")
+    Term.(const run $ kernel_arg $ fabric_term $ budget $ strict $ max_ii $ no_hca)
+
 let list_cmd =
   let run () =
+    let table1 = List.sort compare Registry.names in
     print_endline "Table 1 kernels:";
-    List.iter (fun n -> print_endline ("  " ^ n)) Registry.names;
+    List.iter (fun n -> print_endline ("  " ^ n)) table1;
     print_endline "extended kernels:";
     List.iter
-      (fun (n, _) -> print_endline ("  " ^ n))
-      Hca_kernels.Extended.all
+      (fun n -> if not (List.mem n table1) then print_endline ("  " ^ n))
+      Registry.sorted
   in
   Cmd.v (Cmd.info "list" ~doc:"List available kernels") Term.(const run $ const ())
 
@@ -398,4 +456,4 @@ let () =
     Cmd.info "hca" ~version:"1.0.0"
       ~doc:"Hierarchical Cluster Assignment for DSPFabric (IPPS 2007 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ stats_cmd; run_cmd; table1_cmd; dot_cmd; explain_cmd; level0_cmd; topology_cmd; sched_cmd; simulate_cmd; portfolio_cmd; rcp_cmd; list_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ stats_cmd; run_cmd; exact_cmd; table1_cmd; dot_cmd; explain_cmd; level0_cmd; topology_cmd; sched_cmd; simulate_cmd; portfolio_cmd; rcp_cmd; list_cmd ]))

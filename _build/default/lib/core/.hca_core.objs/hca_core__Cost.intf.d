@@ -1,1 +1,1 @@
-lib/core/cost.mli: Format
+lib/core/cost.mli: Format Hca_machine

@@ -32,6 +32,18 @@ type summary = {
   carried_cuts : int;
 }
 
+let ceil_div a b = (a + b - 1) / b
+
+let cluster_mii ~demand ~capacity ~receives ~max_in =
+  let open Hca_machine in
+  let p = Resource.min_ii ~demand ~capacity in
+  let p =
+    if capacity.Resource.alus > 0 then
+      max p (ceil_div (demand.Resource.alus + receives) capacity.Resource.alus)
+    else p
+  in
+  if receives > 0 then max p (ceil_div receives max_in) else p
+
 let score w s =
   let overshoot = max 0 (s.projected_ii - s.target_ii) in
   (w.w_copy *. float_of_int s.copies)

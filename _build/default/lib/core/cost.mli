@@ -48,4 +48,20 @@ type summary = {
 val score : weights -> summary -> float
 (** Lower is better.  Monotone in every summary component. *)
 
+val cluster_mii :
+  demand:Hca_machine.Resource.t ->
+  capacity:Hca_machine.Resource.t ->
+  receives:int ->
+  max_in:int ->
+  int
+(** The per-cluster projected-MII term of §4.2, shared by
+    {!State.summary} and the exact oracle's CNF encoder
+    ({!Hca_exact.Encode}) so the two provably optimise the same
+    quantity:
+    [max (minII demand capacity)
+         (ceil ((demand.alus + receives) / capacity.alus))
+         (ceil (receives / max_in))]
+    — the FU/issue window, the receive primitives competing with ALU
+    ops for the issue slot, and the incoming-wire serialisation. *)
+
 val pp_weights : Format.formatter -> weights -> unit

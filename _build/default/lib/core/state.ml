@@ -69,8 +69,6 @@ let cluster_nodes t c =
 
 let forwards t = t.fwds
 
-let ceil_div a b = (a + b - 1) / b
-
 let summary t ~ii =
   let pg = Problem.pg t.problem in
   let regs = Pattern_graph.regular_nodes pg in
@@ -89,12 +87,10 @@ let summary t ~ii =
         if util < !min_util then min_util := util
       end;
       let in_p = Copy_flow.in_pressure t.flow nd.id in
-      projected := max !projected (Resource.min_ii ~demand:d ~capacity:cap);
-      if cap.Resource.alus > 0 then
-        projected :=
-          max !projected (ceil_div (d.Resource.alus + in_p) cap.Resource.alus);
-      if in_p > 0 then
-        projected := max !projected (ceil_div in_p (Pattern_graph.max_in pg));
+      projected :=
+        max !projected
+          (Cost.cluster_mii ~demand:d ~capacity:cap ~receives:in_p
+             ~max_in:(Pattern_graph.max_in pg));
       let sat =
         float_of_int (List.length (Copy_flow.real_in_neighbors t.flow nd.id))
         /. float_of_int (Pattern_graph.max_in pg)

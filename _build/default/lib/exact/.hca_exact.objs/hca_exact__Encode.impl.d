@@ -1,0 +1,1 @@
+lib/exact/encode.ml: Array Cost Hashtbl Hca_core Hca_machine List Pattern_graph Problem Resource Sat

@@ -1,0 +1,1 @@
+lib/exact/encode.mli: Hca_core Problem Sat

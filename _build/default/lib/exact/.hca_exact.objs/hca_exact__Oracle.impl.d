@@ -1,0 +1,1 @@
+lib/exact/oracle.ml: Array Ddg Dspfabric Encode Format Hca_core Hca_ddg Hca_machine Mii Pattern_graph Printf Problem Resource Sat Sys

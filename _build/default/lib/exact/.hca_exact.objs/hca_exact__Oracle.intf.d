@@ -1,0 +1,1 @@
+lib/exact/oracle.mli: Ddg Dspfabric Format Hca_core Hca_ddg Hca_machine Problem

@@ -1,0 +1,1 @@
+lib/exact/sat.ml: Array Format List Printf Sys

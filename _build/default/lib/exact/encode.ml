@@ -1,0 +1,222 @@
+open Hca_machine
+open Hca_core
+
+type instance = {
+  n : int;
+  cns : int;
+  max_in : int;
+  demand : Resource.t array;  (* per node *)
+  capacity : Resource.t array;  (* per CN *)
+  pairs : (int * int) list;  (* distinct (producer, consumer) dep pairs *)
+  producers : int list;  (* nodes with at least one consumer, ascending *)
+}
+
+let of_problem problem =
+  let pg = Problem.pg problem in
+  Array.iter
+    (fun (nd : Problem.node) ->
+      if nd.pinned <> None then
+        invalid_arg "Encode.of_problem: instance must be flat (no ports)")
+    (Problem.nodes problem);
+  let n = Problem.size problem in
+  let demand = Array.map (fun (nd : Problem.node) -> nd.demand) (Problem.nodes problem) in
+  let seen = Hashtbl.create 64 in
+  let pairs = ref [] in
+  Array.iter
+    (fun (e : Problem.edge) ->
+      if e.src <> e.dst && not (Hashtbl.mem seen (e.src, e.dst)) then begin
+        Hashtbl.replace seen (e.src, e.dst) ();
+        pairs := (e.src, e.dst) :: !pairs
+      end)
+    (Problem.edges problem);
+  let producers =
+    List.sort_uniq compare (List.map fst !pairs)
+  in
+  {
+    n;
+    cns = List.length (Pattern_graph.regular_nodes pg);
+    max_in = Pattern_graph.max_in pg;
+    demand;
+    capacity =
+      Array.of_list
+        (List.map
+           (fun (nd : Pattern_graph.node) -> nd.capacity)
+           (Pattern_graph.regular_nodes pg));
+    pairs = !pairs;
+    producers;
+  }
+
+let size inst = inst.n
+
+let cns inst = inst.cns
+
+type encoded = {
+  sat : Sat.t;
+  assign_var : int array array;
+}
+
+let is_alu inst node = inst.demand.(node).Resource.alus > 0
+
+(* Sinz sequential-counter encoding of [sum lits <= k]. *)
+let at_most sat lits k =
+  let lits = Array.of_list lits in
+  let m = Array.length lits in
+  if k < 0 then Sat.add_clause sat []
+  else if k = 0 then Array.iter (fun l -> Sat.add_clause sat [ -l ]) lits
+  else if m > k then begin
+    (* s.(i).(j): at least j+1 of lits.(0..i) are true. *)
+    let s = Array.init (m - 1) (fun _ -> Array.init k (fun _ -> Sat.new_var sat)) in
+    Sat.add_clause sat [ -lits.(0); s.(0).(0) ];
+    for j = 1 to k - 1 do
+      Sat.add_clause sat [ -s.(0).(j) ]
+    done;
+    for i = 1 to m - 2 do
+      Sat.add_clause sat [ -lits.(i); s.(i).(0) ];
+      Sat.add_clause sat [ -s.(i - 1).(0); s.(i).(0) ];
+      for j = 1 to k - 1 do
+        Sat.add_clause sat [ -lits.(i); -s.(i - 1).(j - 1); s.(i).(j) ];
+        Sat.add_clause sat [ -s.(i - 1).(j); s.(i).(j) ]
+      done;
+      Sat.add_clause sat [ -lits.(i); -s.(i - 1).(k - 1) ]
+    done;
+    if m >= 2 then Sat.add_clause sat [ -lits.(m - 1); -s.(m - 2).(k - 1) ]
+  end
+
+let encode ?(strict = false) inst ~k =
+  let sat = Sat.create () in
+  let x =
+    Array.init inst.n (fun _ -> Array.init inst.cns (fun _ -> Sat.new_var sat))
+  in
+  (* Exactly one CN per node. *)
+  for nd = 0 to inst.n - 1 do
+    Sat.add_clause sat (Array.to_list x.(nd));
+    for a = 0 to inst.cns - 1 do
+      for b = a + 1 to inst.cns - 1 do
+        Sat.add_clause sat [ -x.(nd).(a); -x.(nd).(b) ]
+      done
+    done
+  done;
+  (* Receive indicators: r.(s).(c) is forced whenever a consumer of
+     producer s sits on c while s itself does not. *)
+  let recv = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      Hashtbl.replace recv s (Array.init inst.cns (fun _ -> Sat.new_var sat)))
+    inst.producers;
+  List.iter
+    (fun (s, m) ->
+      let r = Hashtbl.find recv s in
+      for c = 0 to inst.cns - 1 do
+        Sat.add_clause sat [ -x.(m).(c); x.(s).(c); r.(c) ]
+      done)
+    inst.pairs;
+  (* Per-CN windows: the cluster_mii <= k terms, clause for clause. *)
+  for c = 0 to inst.cns - 1 do
+    let cap = inst.capacity.(c) in
+    let issue = Resource.issue_slots cap in
+    let all = ref [] and alus = ref [] and ags = ref [] in
+    for nd = inst.n - 1 downto 0 do
+      all := x.(nd).(c) :: !all;
+      if is_alu inst nd then alus := x.(nd).(c) :: !alus
+      else ags := x.(nd).(c) :: !ags
+    done;
+    let recvs =
+      List.map (fun s -> (Hashtbl.find recv s).(c)) inst.producers
+    in
+    (* total issue window (Resource.fits issue term) *)
+    at_most sat !all (issue * k);
+    (* AG class window *)
+    if cap.Resource.ags = 0 then
+      List.iter (fun l -> Sat.add_clause sat [ -l ]) !ags
+    else at_most sat !ags (cap.Resource.ags * k);
+    (* ALU ops + receive primitives on the ALU issue slot *)
+    if cap.Resource.alus = 0 then
+      List.iter (fun l -> Sat.add_clause sat [ -l ]) !alus
+    else at_most sat (!alus @ recvs) (cap.Resource.alus * k);
+    (* incoming-wire serialisation: ceil (recv / max_in) <= k *)
+    at_most sat recvs (inst.max_in * k)
+  done;
+  if strict then begin
+    (* Real-arc indicators e.(a).(b) bounded by the MUX capacity. *)
+    let e =
+      Array.init inst.cns (fun _ -> Array.init inst.cns (fun _ -> Sat.new_var sat))
+    in
+    List.iter
+      (fun (s, m) ->
+        for a = 0 to inst.cns - 1 do
+          for b = 0 to inst.cns - 1 do
+            if a <> b then
+              Sat.add_clause sat [ -x.(s).(a); -x.(m).(b); e.(a).(b) ]
+          done
+        done)
+      inst.pairs;
+    for b = 0 to inst.cns - 1 do
+      let ins = ref [] in
+      for a = inst.cns - 1 downto 0 do
+        if a <> b then ins := e.(a).(b) :: !ins
+      done;
+      at_most sat !ins inst.max_in
+    done;
+    (* Single-out-wire payload: distinct values leaving a CN, <= k
+       (each flat CN owns one broadcastable outgoing wire). *)
+    let w = Hashtbl.create 64 in
+    List.iter
+      (fun s ->
+        Hashtbl.replace w s (Array.init inst.cns (fun _ -> Sat.new_var sat)))
+      inst.producers;
+    List.iter
+      (fun (s, m) ->
+        let ws = Hashtbl.find w s in
+        for c = 0 to inst.cns - 1 do
+          Sat.add_clause sat [ -x.(s).(c); x.(m).(c); ws.(c) ]
+        done)
+      inst.pairs;
+    for c = 0 to inst.cns - 1 do
+      at_most sat
+        (List.map (fun s -> (Hashtbl.find w s).(c)) inst.producers)
+        k
+    done
+  end;
+  { sat; assign_var = x }
+
+let decode inst { sat; assign_var } =
+  Array.init inst.n (fun nd ->
+      let c = ref (-1) in
+      for i = inst.cns - 1 downto 0 do
+        if Sat.value sat assign_var.(nd).(i) then c := i
+      done;
+      !c)
+
+let receives_on inst assignment c =
+  List.length
+    (List.filter
+       (fun s ->
+         assignment.(s) <> c
+         && List.exists
+              (fun (s', m) -> s' = s && assignment.(m) = c)
+              inst.pairs)
+       inst.producers)
+
+let cluster_mii_of_assignment inst assignment =
+  let mii = ref 1 in
+  for c = 0 to inst.cns - 1 do
+    let demand = ref Resource.zero in
+    Array.iteri
+      (fun nd cn -> if cn = c then demand := Resource.add !demand inst.demand.(nd))
+      assignment;
+    let receives = receives_on inst assignment c in
+    mii :=
+      max !mii
+        (Cost.cluster_mii ~demand:!demand ~capacity:inst.capacity.(c) ~receives
+           ~max_in:inst.max_in)
+  done;
+  !mii
+
+let copies_of_assignment inst assignment =
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun (s, m) ->
+      if assignment.(s) <> assignment.(m) then
+        Hashtbl.replace seen (s, assignment.(m)) ())
+    inst.pairs;
+  Hashtbl.length seen

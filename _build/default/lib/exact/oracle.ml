@@ -1,0 +1,110 @@
+open Hca_ddg
+open Hca_machine
+open Hca_core
+
+type status = Optimal | Feasible | Timeout | Unsat
+
+type t = {
+  status : status;
+  final_mii : int option;
+  lower_bound : int;
+  assignment : int array option;
+  copies : int;
+  ii_used : int;
+  explored : int;
+  runtime_s : float;
+  error : string option;
+}
+
+let problem_of fabric ddg =
+  let cns = Dspfabric.total_cns fabric in
+  let leaf = Dspfabric.level_view fabric ~level:(Dspfabric.depth fabric - 1) in
+  let pg =
+    Pattern_graph.complete
+      ~name:(Printf.sprintf "exact-K%d" cns)
+      ~capacities:(Array.make cns Resource.cn)
+      ~max_in:leaf.Dspfabric.mux_capacity
+  in
+  Problem.of_ddg ~name:(Ddg.name ddg ^ ".exact") ~ddg ~pg ()
+
+let run ?(strict = false) ?(budget_s = 10.) ?max_ii fabric ddg =
+  let t0 = Sys.time () in
+  let deadline = t0 +. budget_s in
+  let problem = problem_of fabric ddg in
+  let inst = Encode.of_problem problem in
+  let ini = Mii.mii ddg (Dspfabric.resources fabric) in
+  let top =
+    match max_ii with Some m -> m | None -> max ini (Encode.size inst)
+  in
+  (* Invariant: every bound below [!lo] is refuted; [!best] is the
+     smallest satisfiable bound met so far, with its model. *)
+  let lo = ref ini in
+  let hi = ref top in
+  let best = ref None in
+  let timed_out = ref false in
+  let explored = ref 0 in
+  let error = ref None in
+  while !lo <= !hi && (not !timed_out) && !error = None do
+    let k = (!lo + !hi) / 2 in
+    let enc = Encode.encode ~strict inst ~k in
+    (match Sat.solve ~deadline enc.Encode.sat with
+    | Sat.Sat ->
+        let a = Encode.decode inst enc in
+        (* Independent re-check: the clauses and the cost terms must
+           agree on what they bounded. *)
+        let got = Encode.cluster_mii_of_assignment inst a in
+        if got > k && not strict then
+          error :=
+            Some
+              (Printf.sprintf
+                 "internal: model at k=%d recomputes to cluster MII %d" k got)
+        else begin
+          best := Some (k, a);
+          hi := k - 1
+        end
+    | Sat.Unsat -> lo := k + 1
+    | Sat.Unknown -> timed_out := true);
+    explored := !explored + Sat.conflicts enc.Encode.sat
+  done;
+  let status, final_mii, assignment, ii_used =
+    match !best with
+    | Some (k, a) ->
+        let st = if !lo >= k then Optimal else Feasible in
+        (st, Some (max ini k), Some a, k)
+    | None ->
+        if !error <> None || !timed_out then (Timeout, None, None, 0)
+        else (Unsat, None, None, 0)
+  in
+  {
+    status;
+    final_mii;
+    lower_bound = max ini !lo;
+    assignment;
+    copies =
+      (match !best with
+      | Some (_, a) -> Encode.copies_of_assignment inst a
+      | None -> 0);
+    ii_used;
+    explored = !explored;
+    runtime_s = Sys.time () -. t0;
+    error =
+      (match (!error, !timed_out) with
+      | (Some _ as e), _ -> e
+      | None, true -> Some "time budget exhausted"
+      | None, false -> None);
+  }
+
+let status_to_string = function
+  | Optimal -> "optimal"
+  | Feasible -> "feasible"
+  | Timeout -> "timeout"
+  | Unsat -> "unsat"
+
+let pp ppf t =
+  Format.fprintf ppf "status=%s final=%s lower>=%d copies=%d conflicts=%d t=%.2fs"
+    (status_to_string t.status)
+    (match t.final_mii with Some m -> string_of_int m | None -> "-")
+    t.lower_bound t.copies t.explored t.runtime_s;
+  match t.error with
+  | Some e -> Format.fprintf ppf " (%s)" e
+  | None -> ()

@@ -1,0 +1,61 @@
+(** The exact cluster-assignment oracle: provably optimal (or certified
+    lower/upper bounded) flat ICA via the CDCL solver.
+
+    The oracle binary-searches the smallest cluster-MII bound [k] for
+    which {!Encode} is satisfiable, between the kernel's iniMII and the
+    trivial all-on-one-CN upper bound, under a wall-clock budget.  Its
+    result mirrors the {!Hca_baseline.Flat_ica.t} record shape so the
+    comparison tables can treat both uniformly, plus a [status]:
+
+    - [Optimal]: [final_mii] is the proven optimum — every smaller
+      bound was refuted (or the optimum equals iniMII, which nothing
+      can beat);
+    - [Feasible]: a model exists at [final_mii] but smaller bounds ran
+      out of budget before being decided;
+    - [Timeout]: the budget expired before any model was found;
+    - [Unsat]: the whole capped search range was refuted (only possible
+      when [max_ii] caps the range below the instance size).
+
+    Any SEE or cost-function change can be regression-checked against
+    the oracle: with the default relaxed encoding the oracle's
+    [final_mii] is a certified lower bound on any achievable flat
+    projected MII, so [heuristic < oracle] is always a bug. *)
+
+open Hca_ddg
+open Hca_machine
+open Hca_core
+
+type status = Optimal | Feasible | Timeout | Unsat
+
+type t = {
+  status : status;
+  final_mii : int option;  (** [max iniMII k] of the best model found *)
+  lower_bound : int;
+      (** certified: no assignment achieves a final MII below this *)
+  assignment : int array option;  (** instruction -> CN of the best model *)
+  copies : int;  (** inter-CN value hops of the best model *)
+  ii_used : int;  (** cluster window of the best model; [0] if none *)
+  explored : int;  (** SAT conflicts summed over every solve call *)
+  runtime_s : float;
+  error : string option;
+}
+
+val problem_of : Dspfabric.t -> Ddg.t -> Problem.t
+(** The same flat K-view {!Hca_baseline.Flat_ica} searches: every CN
+    reachable from every other, per-CN port limits only. *)
+
+val run :
+  ?strict:bool ->
+  ?budget_s:float ->
+  ?max_ii:int ->
+  Dspfabric.t ->
+  Ddg.t ->
+  t
+(** [budget_s] (default [10.]) bounds the whole MII search wall-clock;
+    [strict] adds the structural MUX/wire clauses (see {!Encode});
+    [max_ii] caps the search range (default: the instance size, whose
+    all-on-one-CN assignment is always feasible). *)
+
+val status_to_string : status -> string
+
+val pp : Format.formatter -> t -> unit

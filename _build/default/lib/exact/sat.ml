@@ -1,0 +1,461 @@
+(* MiniSat-style CDCL.  Internal literal encoding: variable [v] (0-based)
+   yields literals [2v] (positive) and [2v+1] (negative); the external
+   API speaks DIMACS ints.  A clause is an int array of internal
+   literals whose first two slots are the watched pair. *)
+
+type clause = int array
+
+type result = Sat | Unsat | Unknown
+
+type t = {
+  mutable nvars : int;
+  mutable clauses : clause list;  (* kept only for Invalid_argument checks *)
+  mutable watches : clause list array;  (* indexed by internal literal *)
+  mutable assigns : int array;  (* -1 unassigned / 0 false / 1 true *)
+  mutable level : int array;
+  mutable reason : clause option array;
+  mutable activity : float array;
+  mutable polarity : bool array;  (* phase saving: last assigned value *)
+  mutable heap : int array;  (* binary max-heap of variables by activity *)
+  mutable heap_pos : int array;  (* var -> index in heap, -1 if absent *)
+  mutable heap_size : int;
+  mutable trail : int array;  (* internal literals, assignment order *)
+  mutable trail_size : int;
+  mutable trail_lim : int array;  (* trail size at each decision level *)
+  mutable trail_lim_size : int;
+  mutable qhead : int;
+  mutable var_inc : float;
+  mutable ok : bool;  (* false once the clause set is trivially unsat *)
+  mutable n_conflicts : int;
+  mutable n_decisions : int;
+  mutable has_model : bool;
+  mutable seen : bool array;  (* scratch for conflict analysis *)
+}
+
+let create () =
+  {
+    nvars = 0;
+    clauses = [];
+    watches = Array.make 16 [];
+    assigns = Array.make 8 (-1);
+    level = Array.make 8 0;
+    reason = Array.make 8 None;
+    activity = Array.make 8 0.0;
+    polarity = Array.make 8 false;
+    heap = Array.make 8 0;
+    heap_pos = Array.make 8 (-1);
+    heap_size = 0;
+    trail = Array.make 8 0;
+    trail_size = 0;
+    trail_lim = Array.make 8 0;
+    trail_lim_size = 0;
+    qhead = 0;
+    var_inc = 1.0;
+    ok = true;
+    n_conflicts = 0;
+    n_decisions = 0;
+    has_model = false;
+    seen = Array.make 8 false;
+  }
+
+let nvars t = t.nvars
+
+let conflicts t = t.n_conflicts
+
+let decisions t = t.n_decisions
+
+(* -------- literals -------- *)
+
+let var_of_lit l = l lsr 1
+
+let neg l = l lxor 1
+
+let lit_sign l = l land 1 = 0 (* true = positive *)
+
+let internal t ext =
+  if ext = 0 || abs ext > t.nvars then
+    invalid_arg (Printf.sprintf "Sat: literal %d out of range" ext);
+  let v = abs ext - 1 in
+  if ext > 0 then 2 * v else (2 * v) + 1
+
+(* -------- dynamic arrays -------- *)
+
+let grow_to t n =
+  let old = Array.length t.assigns in
+  if n > old then begin
+    let cap = max n (2 * old) in
+    let extend a fill = Array.append a (Array.make (cap - Array.length a) fill) in
+    t.assigns <- extend t.assigns (-1);
+    t.level <- extend t.level 0;
+    t.reason <- extend t.reason None;
+    t.activity <- extend t.activity 0.0;
+    t.polarity <- extend t.polarity false;
+    t.heap <- extend t.heap 0;
+    t.heap_pos <- extend t.heap_pos (-1);
+    t.trail <- extend t.trail 0;
+    t.trail_lim <- extend t.trail_lim 0;
+    t.seen <- extend t.seen false
+  end;
+  if 2 * n > Array.length t.watches then
+    t.watches <- Array.append t.watches
+      (Array.make ((4 * n) - Array.length t.watches) [])
+
+(* -------- activity heap -------- *)
+
+let heap_lt t a b = t.activity.(a) > t.activity.(b)
+
+let rec heap_up t i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if heap_lt t t.heap.(i) t.heap.(p) then begin
+      let vi = t.heap.(i) and vp = t.heap.(p) in
+      t.heap.(i) <- vp; t.heap.(p) <- vi;
+      t.heap_pos.(vp) <- i; t.heap_pos.(vi) <- p;
+      heap_up t p
+    end
+  end
+
+let rec heap_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < t.heap_size && heap_lt t t.heap.(l) t.heap.(!best) then best := l;
+  if r < t.heap_size && heap_lt t t.heap.(r) t.heap.(!best) then best := r;
+  if !best <> i then begin
+    let vi = t.heap.(i) and vb = t.heap.(!best) in
+    t.heap.(i) <- vb; t.heap.(!best) <- vi;
+    t.heap_pos.(vb) <- i; t.heap_pos.(vi) <- !best;
+    heap_down t !best
+  end
+
+let heap_insert t v =
+  if t.heap_pos.(v) < 0 then begin
+    t.heap.(t.heap_size) <- v;
+    t.heap_pos.(v) <- t.heap_size;
+    t.heap_size <- t.heap_size + 1;
+    heap_up t t.heap_pos.(v)
+  end
+
+let heap_pop t =
+  let v = t.heap.(0) in
+  t.heap_size <- t.heap_size - 1;
+  t.heap_pos.(v) <- -1;
+  if t.heap_size > 0 then begin
+    let last = t.heap.(t.heap_size) in
+    t.heap.(0) <- last;
+    t.heap_pos.(last) <- 0;
+    heap_down t 0
+  end;
+  v
+
+let bump t v =
+  t.activity.(v) <- t.activity.(v) +. t.var_inc;
+  if t.activity.(v) > 1e100 then begin
+    for i = 0 to t.nvars - 1 do t.activity.(i) <- t.activity.(i) *. 1e-100 done;
+    t.var_inc <- t.var_inc *. 1e-100
+  end;
+  if t.heap_pos.(v) >= 0 then heap_up t t.heap_pos.(v)
+
+(* -------- variables -------- *)
+
+let new_var t =
+  let v = t.nvars in
+  t.nvars <- v + 1;
+  grow_to t t.nvars;
+  heap_insert t v;
+  v + 1
+
+(* -------- assignment -------- *)
+
+let lit_value t l =
+  (* 1 true / 0 false / -1 unassigned, from the literal's viewpoint *)
+  let a = t.assigns.(var_of_lit l) in
+  if a < 0 then -1 else if lit_sign l then a else 1 - a
+
+let decision_level t = t.trail_lim_size
+
+let enqueue t l reason =
+  let v = var_of_lit l in
+  t.assigns.(v) <- (if lit_sign l then 1 else 0);
+  t.polarity.(v) <- lit_sign l;
+  t.level.(v) <- decision_level t;
+  t.reason.(v) <- reason;
+  t.trail.(t.trail_size) <- l;
+  t.trail_size <- t.trail_size + 1
+
+let cancel_until t lvl =
+  if decision_level t > lvl then begin
+    let bound = t.trail_lim.(lvl) in
+    for i = t.trail_size - 1 downto bound do
+      let v = var_of_lit t.trail.(i) in
+      t.assigns.(v) <- -1;
+      t.reason.(v) <- None;
+      heap_insert t v
+    done;
+    t.trail_size <- bound;
+    t.qhead <- bound;
+    t.trail_lim_size <- lvl
+  end
+
+(* -------- propagation -------- *)
+
+exception Conflict of clause
+
+let propagate t =
+  try
+    while t.qhead < t.trail_size do
+      let l = t.trail.(t.qhead) in
+      t.qhead <- t.qhead + 1;
+      let falsified = neg l in
+      let ws = t.watches.(falsified) in
+      t.watches.(falsified) <- [];
+      let rec go = function
+        | [] -> ()
+        | c :: rest -> (
+            (* Normalise: the falsified watch sits in slot 1. *)
+            if c.(0) = falsified then begin c.(0) <- c.(1); c.(1) <- falsified end;
+            if lit_value t c.(0) = 1 then begin
+              (* Clause already satisfied by the other watch. *)
+              t.watches.(falsified) <- c :: t.watches.(falsified);
+              go rest
+            end
+            else
+              (* Look for a new watchable literal. *)
+              let n = Array.length c in
+              let rec find i =
+                if i >= n then -1
+                else if lit_value t c.(i) <> 0 then i
+                else find (i + 1)
+              in
+              match find 2 with
+              | i when i >= 0 ->
+                  c.(1) <- c.(i);
+                  c.(i) <- falsified;
+                  t.watches.(c.(1)) <- c :: t.watches.(c.(1));
+                  go rest
+              | _ ->
+                  (* Unit or conflicting. *)
+                  t.watches.(falsified) <- c :: t.watches.(falsified);
+                  if lit_value t c.(0) = 0 then begin
+                    (* Put the unvisited watchers back before bailing. *)
+                    t.watches.(falsified) <-
+                      List.rev_append rest t.watches.(falsified);
+                    raise (Conflict c)
+                  end
+                  else begin
+                    enqueue t c.(0) (Some c);
+                    go rest
+                  end)
+      in
+      go ws
+    done;
+    None
+  with Conflict c -> Some c
+
+(* -------- clauses -------- *)
+
+(* watches.(l) holds the clauses watching literal [l]; they are visited
+   when [l] is falsified. *)
+let attach t c =
+  t.watches.(c.(0)) <- c :: t.watches.(c.(0));
+  t.watches.(c.(1)) <- c :: t.watches.(c.(1))
+
+let add_clause t ext_lits =
+  let lits = List.map (internal t) ext_lits in
+  if t.ok then begin
+    t.has_model <- false;
+    (* The API only adds clauses at level 0 (incremental use between
+       solves); dedupe and drop clauses with complementary literals. *)
+    cancel_until t 0;
+    let lits = List.sort_uniq compare lits in
+    let taut = List.exists (fun l -> List.memq (neg l) lits) lits in
+    let lits = List.filter (fun l -> lit_value t l <> 0) lits in
+    if not taut then
+      if List.exists (fun l -> lit_value t l = 1) lits then ()
+      else
+        match lits with
+        | [] -> t.ok <- false
+        | [ l ] ->
+            enqueue t l None;
+            if propagate t <> None then t.ok <- false
+        | _ ->
+            let c = Array.of_list lits in
+            t.clauses <- c :: t.clauses;
+            attach t c
+  end
+
+(* -------- conflict analysis (first UIP) -------- *)
+
+let analyze t confl =
+  let learnt = ref [] in
+  let counter = ref 0 in
+  let p = ref (-1) in
+  let confl = ref (Some confl) in
+  let idx = ref (t.trail_size - 1) in
+  let continue = ref true in
+  while !continue do
+    (match !confl with
+    | None -> assert false
+    | Some c ->
+        (* Skip c.(0) on learnt-continuation rounds: it is the literal
+           being resolved on ([p]). *)
+        Array.iter
+          (fun q ->
+            if q <> !p then begin
+              let v = var_of_lit q in
+              if (not t.seen.(v)) && t.level.(v) > 0 then begin
+                t.seen.(v) <- true;
+                bump t v;
+                if t.level.(v) >= decision_level t then incr counter
+                else learnt := q :: !learnt
+              end
+            end)
+          c);
+    (* Walk the trail back to the next marked literal. *)
+    while not t.seen.(var_of_lit t.trail.(!idx)) do decr idx done;
+    let l = t.trail.(!idx) in
+    let v = var_of_lit l in
+    t.seen.(v) <- false;
+    decr idx;
+    decr counter;
+    if !counter = 0 then begin
+      p := neg l;
+      continue := false
+    end
+    else begin
+      p := l;
+      confl := t.reason.(v)
+    end
+  done;
+  let c = Array.of_list (!p :: !learnt) in
+  List.iter (fun l -> t.seen.(var_of_lit l) <- false) !learnt;
+  (* Backtrack level: highest level among the non-asserting literals.
+     That literal must also sit in watch slot 1, so that both watches
+     are the last-falsified literals after the backjump. *)
+  let blevel = ref 0 in
+  for i = 1 to Array.length c - 1 do
+    let lv = t.level.(var_of_lit c.(i)) in
+    if lv > !blevel then begin
+      blevel := lv;
+      let tmp = c.(1) in
+      c.(1) <- c.(i);
+      c.(i) <- tmp
+    end
+  done;
+  (c, !blevel)
+
+(* -------- restarts: Luby sequence -------- *)
+
+let rec luby i =
+  (* Smallest k with i < 2^k - 1 determines the value. *)
+  let k = ref 1 in
+  while (1 lsl !k) - 1 < i do incr k done;
+  if i = (1 lsl !k) - 1 then 1 lsl (!k - 1)
+  else luby (i - (1 lsl (!k - 1)) + 1)
+
+(* -------- search -------- *)
+
+let pick_branch t =
+  let rec go () =
+    if t.heap_size = 0 then -1
+    else
+      let v = heap_pop t in
+      if t.assigns.(v) < 0 then v else go ()
+  in
+  go ()
+
+let solve ?(assumptions = []) ?(deadline = infinity) ?max_conflicts t =
+  t.has_model <- false;
+  if not t.ok then Unsat
+  else begin
+    cancel_until t 0;
+    let assumptions = List.map (internal t) assumptions in
+    let budget =
+      match max_conflicts with Some b -> t.n_conflicts + b | None -> max_int
+    in
+    let restart_base = 64 in
+    let restart_idx = ref 1 in
+    let conflicts_left = ref (restart_base * luby !restart_idx) in
+    let result = ref Unknown in
+    (try
+       while !result = Unknown do
+         match propagate t with
+         | Some confl ->
+             t.n_conflicts <- t.n_conflicts + 1;
+             decr conflicts_left;
+             if decision_level t = 0 then begin
+               t.ok <- false;
+               result := Unsat
+             end
+             else if decision_level t <= List.length assumptions then
+               (* The conflict depends only on assumptions: unsat under
+                  them, but the clause set itself stays usable. *)
+               result := Unsat
+             else begin
+               let learnt, blevel = analyze t confl in
+               (* Never backtrack into the assumption prefix. *)
+               let blevel = max blevel (List.length assumptions) in
+               cancel_until t blevel;
+               (match learnt with
+               | [| l |] -> enqueue t l None
+               | _ ->
+                   t.clauses <- learnt :: t.clauses;
+                   attach t learnt;
+                   enqueue t learnt.(0) (Some learnt));
+               t.var_inc <- t.var_inc /. 0.95;
+               if t.n_conflicts land 255 = 0 && Sys.time () > deadline then
+                 raise Exit;
+               if t.n_conflicts >= budget then raise Exit
+             end
+         | None ->
+             if !conflicts_left <= 0 then begin
+               (* Restart, keeping the assumption prefix semantics: we
+                  backtrack to 0 and let the decision loop re-assume. *)
+               incr restart_idx;
+               conflicts_left := restart_base * luby !restart_idx;
+               cancel_until t 0
+             end;
+             (* Re-apply any pending assumption first. *)
+             let lvl = decision_level t in
+             if lvl < List.length assumptions then begin
+               let a = List.nth assumptions lvl in
+               match lit_value t a with
+               | 1 ->
+                   (* Already implied: open an empty decision level so
+                      the prefix depth still matches the list index. *)
+                   t.trail_lim.(t.trail_lim_size) <- t.trail_size;
+                   t.trail_lim_size <- t.trail_lim_size + 1
+               | 0 -> result := Unsat
+               | _ ->
+                   t.trail_lim.(t.trail_lim_size) <- t.trail_size;
+                   t.trail_lim_size <- t.trail_lim_size + 1;
+                   enqueue t a None
+             end
+             else begin
+               match pick_branch t with
+               | -1 ->
+                   result := Sat;
+                   t.has_model <- true
+               | v ->
+                   t.n_decisions <- t.n_decisions + 1;
+                   t.trail_lim.(t.trail_lim_size) <- t.trail_size;
+                   t.trail_lim_size <- t.trail_lim_size + 1;
+                   let l = if t.polarity.(v) then 2 * v else (2 * v) + 1 in
+                   enqueue t l None
+             end
+       done
+     with Exit -> result := Unknown);
+    if !result <> Sat then cancel_until t 0;
+    !result
+  end
+
+let value t ext =
+  if not t.has_model then invalid_arg "Sat.value: no model available";
+  let v = abs ext - 1 in
+  if ext = 0 || v >= t.nvars then invalid_arg "Sat.value: variable out of range";
+  let a = t.assigns.(v) in
+  let pos = a = 1 in
+  if ext > 0 then pos else not pos
+
+let pp_stats ppf t =
+  Format.fprintf ppf "vars=%d clauses=%d conflicts=%d decisions=%d" t.nvars
+    (List.length t.clauses) t.n_conflicts t.n_decisions

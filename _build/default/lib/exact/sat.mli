@@ -1,0 +1,53 @@
+(** Self-contained CDCL SAT solver for the exact cluster-assignment
+    oracle — no external solver dependency, ~500 lines of OCaml.
+
+    The design is the classic MiniSat recipe: two-watched-literal unit
+    propagation, first-UIP conflict-clause learning, VSIDS-style
+    variable activities served from a binary heap, phase saving, and
+    Luby-sequence restarts.  Clause deletion is deliberately omitted:
+    the oracle bounds every call by a wall-clock deadline and the
+    encoded instances are kernel-sized, so the learnt database stays
+    small enough to keep.
+
+    Literals use the DIMACS convention: variable [v >= 1], literal
+    [+v] for the positive phase and [-v] for the negative one. *)
+
+type t
+
+type result = Sat | Unsat | Unknown
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocates and returns the next variable (numbered from 1). *)
+
+val nvars : t -> int
+
+val add_clause : t -> int list -> unit
+(** Adds one clause over already-allocated variables.  The empty clause
+    (or a clause falsified at level 0) makes the instance trivially
+    unsat.  May be called between {!solve} calls (incremental use).
+    @raise Invalid_argument on a zero or out-of-range literal. *)
+
+val solve :
+  ?assumptions:int list -> ?deadline:float -> ?max_conflicts:int -> t -> result
+(** Decides the current clause set.
+
+    [assumptions] are literals decided (in order) before any free
+    decision; if the clause set forces their negation the answer is
+    [Unsat] {e under the assumptions} — the clause set itself stays
+    reusable.  [deadline] is an absolute [Sys.time] instant and
+    [max_conflicts] a conflict budget; crossing either returns
+    [Unknown]. *)
+
+val value : t -> int -> bool
+(** Model value of a variable after a [Sat] answer.
+    @raise Invalid_argument if the last call did not return [Sat]. *)
+
+val conflicts : t -> int
+(** Total conflicts across every [solve] call (the oracle's
+    [explored] analogue of the SEE state counter). *)
+
+val decisions : t -> int
+
+val pp_stats : Format.formatter -> t -> unit

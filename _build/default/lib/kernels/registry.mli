@@ -14,3 +14,7 @@ val names : string list
 (** Table-1 names only. *)
 
 val extended_names : string list
+
+val sorted : string list
+(** Every findable kernel name (Table-1 and extended), alphabetically —
+    what user-facing listings and error messages should print. *)

@@ -1,1 +1,1 @@
-test/test_baseline.ml: Alcotest Array Chu_partition Dspfabric Flat_ica Hca_baseline Hca_core Hca_kernels Hca_machine List Option Random_assign Result Unified
+test/test_baseline.ml: Alcotest Array Chu_partition Ddg Dspfabric Flat_ica Hca_baseline Hca_core Hca_ddg Hca_kernels Hca_machine List Opcode Option Pattern_graph Random_assign Resource Result Unified

@@ -1,0 +1,1 @@
+test/test_exact.ml: Alcotest Array Ddg Dspfabric Encode Format Hca_baseline Hca_core Hca_ddg Hca_exact Hca_kernels Hca_machine Hca_util List Mii Opcode Oracle Printf Sat

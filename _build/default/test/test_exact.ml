@@ -1,0 +1,258 @@
+(* Tests for the exact SAT-based cluster-assignment oracle: the CDCL
+   solver on hand-built CNFs, the cardinality encoder, and the oracle
+   cross-checked against the flat-ICA heuristic. *)
+
+open Hca_ddg
+open Hca_machine
+open Hca_exact
+
+(* ------------------------------------------------------------------ *)
+(* CDCL solver on hand-built formulas.                                 *)
+(* ------------------------------------------------------------------ *)
+
+let result =
+  Alcotest.testable
+    (fun ppf -> function
+      | Sat.Sat -> Format.pp_print_string ppf "sat"
+      | Sat.Unsat -> Format.pp_print_string ppf "unsat"
+      | Sat.Unknown -> Format.pp_print_string ppf "unknown")
+    ( = )
+
+let test_sat_basic () =
+  let s = Sat.create () in
+  let a = Sat.new_var s and b = Sat.new_var s in
+  Sat.add_clause s [ a; b ];
+  Sat.add_clause s [ -a ];
+  Alcotest.check result "sat" Sat.Sat (Sat.solve s);
+  Alcotest.(check bool) "a false" false (Sat.value s a);
+  Alcotest.(check bool) "b true" true (Sat.value s b)
+
+let test_unsat_basic () =
+  let s = Sat.create () in
+  let a = Sat.new_var s in
+  Sat.add_clause s [ a ];
+  Sat.add_clause s [ -a ];
+  Alcotest.check result "unsat" Sat.Unsat (Sat.solve s)
+
+let test_empty_clause () =
+  let s = Sat.create () in
+  let _ = Sat.new_var s in
+  Sat.add_clause s [];
+  Alcotest.check result "unsat" Sat.Unsat (Sat.solve s)
+
+let test_pigeonhole () =
+  (* 4 pigeons, 3 holes: needs real conflict learning to refute. *)
+  let s = Sat.create () in
+  let v = Array.init 4 (fun _ -> Array.init 3 (fun _ -> Sat.new_var s)) in
+  for p = 0 to 3 do
+    Sat.add_clause s (Array.to_list v.(p))
+  done;
+  for h = 0 to 2 do
+    for p = 0 to 3 do
+      for q = p + 1 to 3 do
+        Sat.add_clause s [ -v.(p).(h); -v.(q).(h) ]
+      done
+    done
+  done;
+  Alcotest.check result "php(4,3)" Sat.Unsat (Sat.solve s)
+
+let test_assumptions_incremental () =
+  let s = Sat.create () in
+  let a = Sat.new_var s and b = Sat.new_var s in
+  Sat.add_clause s [ a; b ];
+  Alcotest.check result "sat under -a" Sat.Sat (Sat.solve ~assumptions:[ -a ] s);
+  Alcotest.(check bool) "b forced" true (Sat.value s b);
+  (* The clause set stays usable after an unsat-under-assumptions call. *)
+  Sat.add_clause s [ -b ];
+  Alcotest.check result "unsat under -a" Sat.Unsat
+    (Sat.solve ~assumptions:[ -a ] s);
+  Alcotest.check result "still sat" Sat.Sat (Sat.solve s);
+  Alcotest.(check bool) "a forced" true (Sat.value s a)
+
+(* Cross-check the solver against brute force on random 3-CNFs. *)
+let test_random_3sat_vs_bruteforce () =
+  let prng = Hca_util.Prng.create 20260805 in
+  let nvars = 8 and nclauses = 32 in
+  for _ = 1 to 40 do
+    let clauses =
+      List.init nclauses (fun _ ->
+          List.init 3 (fun _ ->
+              let v = 1 + Hca_util.Prng.int prng nvars in
+              if Hca_util.Prng.bool prng then v else -v))
+    in
+    let brute =
+      let sat = ref false in
+      for m = 0 to (1 lsl nvars) - 1 do
+        if
+          (not !sat)
+          && List.for_all
+               (List.exists (fun l ->
+                    let v = abs l - 1 in
+                    let bit = m land (1 lsl v) <> 0 in
+                    if l > 0 then bit else not bit))
+               clauses
+        then sat := true
+      done;
+      if !sat then Sat.Sat else Sat.Unsat
+    in
+    let s = Sat.create () in
+    for _ = 1 to nvars do
+      ignore (Sat.new_var s)
+    done;
+    List.iter (Sat.add_clause s) clauses;
+    Alcotest.check result "matches brute force" brute (Sat.solve s)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Cardinality encoding.                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_at_most () =
+  let s = Sat.create () in
+  let vars = List.init 5 (fun _ -> Sat.new_var s) in
+  Encode.at_most s vars 2;
+  (* Forcing three of the five true must contradict the counter. *)
+  (match vars with
+  | a :: b :: c :: _ ->
+      Alcotest.check result "3 > 2" Sat.Unsat
+        (Sat.solve ~assumptions:[ a; b; c ] s)
+  | _ -> assert false);
+  (match vars with
+  | a :: b :: _ ->
+      Alcotest.check result "2 <= 2" Sat.Sat (Sat.solve ~assumptions:[ a; b ] s)
+  | _ -> assert false)
+
+let test_at_most_zero () =
+  let s = Sat.create () in
+  let vars = List.init 3 (fun _ -> Sat.new_var s) in
+  Encode.at_most s vars 0;
+  Alcotest.check result "sat all-false" Sat.Sat (Sat.solve s);
+  List.iter
+    (fun v -> Alcotest.(check bool) "forced false" false (Sat.value s v))
+    vars
+
+(* ------------------------------------------------------------------ *)
+(* Oracle on a hand-built kernel with a known optimum.                  *)
+(* ------------------------------------------------------------------ *)
+
+let small_fabric = Dspfabric.make ~fanouts:[| 2; 2; 2 |] ~n:2 ~m:2 ~k:2 ()
+
+let chain4 () =
+  (* a -> b -> c -> d, all ALU ops.  On unit-capacity CNs every non-head
+     segment of the chain pays one receive on its ALU slot, so feasible
+     bounds k admit one head segment of k ops plus tail segments of
+     k - 1 ops each: k = 1 packs at most 1 node, k = 2 packs 2+1+1 = 4.
+     The proven optimum of the projected final MII is therefore 2. *)
+  let b = Ddg.Builder.create ~name:"chain4" () in
+  let a = Ddg.Builder.add_instr b ~name:"a" Opcode.Add in
+  let b' = Ddg.Builder.add_instr b ~name:"b" Opcode.Add in
+  let c = Ddg.Builder.add_instr b ~name:"c" Opcode.Add in
+  let d = Ddg.Builder.add_instr b ~name:"d" Opcode.Add in
+  Ddg.Builder.add_dep b ~src:a ~dst:b';
+  Ddg.Builder.add_dep b ~src:b' ~dst:c;
+  Ddg.Builder.add_dep b ~src:c ~dst:d;
+  Ddg.Builder.freeze b
+
+let test_oracle_chain_optimal () =
+  let r = Oracle.run ~budget_s:20. small_fabric (chain4 ()) in
+  (match r.Oracle.status with
+  | Oracle.Optimal -> ()
+  | s -> Alcotest.failf "expected optimal, got %s" (Oracle.status_to_string s));
+  Alcotest.(check (option int)) "optimum 2" (Some 2) r.Oracle.final_mii;
+  Alcotest.(check int) "lower bound matches" 2 r.Oracle.lower_bound;
+  match r.Oracle.assignment with
+  | None -> Alcotest.fail "optimal without a model"
+  | Some a ->
+      Alcotest.(check int) "every node placed" 0
+        (Array.fold_left (fun acc c -> if c < 0 then acc + 1 else acc) 0 a)
+
+let test_oracle_strict_no_better () =
+  (* The structural wire clauses can only shrink the feasible set. *)
+  let relaxed = Oracle.run ~budget_s:20. small_fabric (chain4 ()) in
+  let strict = Oracle.run ~strict:true ~budget_s:20. small_fabric (chain4 ()) in
+  match (relaxed.Oracle.final_mii, strict.Oracle.final_mii) with
+  | Some r, Some s -> Alcotest.(check bool) "strict >= relaxed" true (s >= r)
+  | _ -> Alcotest.fail "both searches should conclude on 4 nodes"
+
+let test_encode_model_checks () =
+  let problem = Oracle.problem_of small_fabric (chain4 ()) in
+  let inst = Encode.of_problem problem in
+  let enc = Encode.encode inst ~k:2 in
+  Alcotest.check result "k=2 sat" Sat.Sat (Sat.solve enc.Encode.sat);
+  let a = Encode.decode inst enc in
+  Alcotest.(check bool) "recomputed MII within bound" true
+    (Encode.cluster_mii_of_assignment inst a <= 2);
+  let enc1 = Encode.encode inst ~k:1 in
+  Alcotest.check result "k=1 unsat" Sat.Unsat (Sat.solve enc1.Encode.sat)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-check: the oracle is a certified lower bound on the SEE.       *)
+(* ------------------------------------------------------------------ *)
+
+let crosscheck_kernel name ddg =
+  let fabric = small_fabric in
+  let flat = Hca_baseline.Flat_ica.run ~config:Hca_core.Config.greedy fabric ddg in
+  match (flat.Hca_baseline.Flat_ica.outcome, flat.Hca_baseline.Flat_ica.projected_mii) with
+  | Some _, Some projected ->
+      let ini = Mii.mii ddg (Dspfabric.resources fabric) in
+      let achieved = max ini projected in
+      let oracle = Oracle.run ~budget_s:10. fabric ddg in
+      Alcotest.(check bool)
+        (name ^ ": certified lower bound <= SEE result")
+        true
+        (oracle.Oracle.lower_bound <= achieved);
+      (match oracle.Oracle.final_mii with
+      | Some f ->
+          Alcotest.(check bool)
+            (name ^ ": oracle never above a legal SEE MII")
+            true (f <= achieved)
+      | None -> ())
+  | _ -> () (* SEE found nothing to compare against *)
+
+let test_crosscheck_synthetic () =
+  List.iter
+    (fun (size, seed) ->
+      let ddg =
+        Hca_kernels.Synthetic.generate
+          {
+            Hca_kernels.Synthetic.default with
+            size;
+            layers = 3;
+            seed;
+            recurrences = 1;
+          }
+      in
+      crosscheck_kernel (Printf.sprintf "syn%d/%d" size seed) ddg)
+    [ (10, 1); (12, 2); (14, 3) ]
+
+let test_crosscheck_chain () = crosscheck_kernel "chain4" (chain4 ())
+
+let () =
+  Alcotest.run "exact"
+    [
+      ( "sat",
+        [
+          Alcotest.test_case "basic sat" `Quick test_sat_basic;
+          Alcotest.test_case "basic unsat" `Quick test_unsat_basic;
+          Alcotest.test_case "empty clause" `Quick test_empty_clause;
+          Alcotest.test_case "pigeonhole" `Quick test_pigeonhole;
+          Alcotest.test_case "assumptions" `Quick test_assumptions_incremental;
+          Alcotest.test_case "vs brute force" `Quick test_random_3sat_vs_bruteforce;
+        ] );
+      ( "cardinality",
+        [
+          Alcotest.test_case "at most k" `Quick test_at_most;
+          Alcotest.test_case "at most 0" `Quick test_at_most_zero;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "chain optimum" `Quick test_oracle_chain_optimal;
+          Alcotest.test_case "strict no better" `Quick test_oracle_strict_no_better;
+          Alcotest.test_case "model checks" `Quick test_encode_model_checks;
+        ] );
+      ( "crosscheck",
+        [
+          Alcotest.test_case "synthetic" `Slow test_crosscheck_synthetic;
+          Alcotest.test_case "chain" `Quick test_crosscheck_chain;
+        ] );
+    ]

@@ -41,6 +41,55 @@ let test_flat_ica_violations_detected () =
       let v = Flat_ica.hierarchy_violations fabric outcome in
       Alcotest.(check bool) "non-negative" true (v >= 0)
 
+(* Hand-built outcome with a known violation count: two producers in
+   different level-0 sets both feeding one consumer in a third set.
+   With every MUX capacity forced to 1, the consumer's set pulls from
+   two foreign sets at level 0 (1 overflow) and at level 1 (1 more);
+   the leaf crossbar admits 2 incoming wires per CN, so no leaf
+   overflow — exactly 2 violations.  With capacity 8 everywhere the
+   same placement is clean. *)
+let two_feeders_outcome fabric16 =
+  let open Hca_ddg in
+  let b = Ddg.Builder.create ~name:"two-feeders" () in
+  let p0 = Ddg.Builder.add_instr b ~name:"p0" Opcode.Add in
+  let p1 = Ddg.Builder.add_instr b ~name:"p1" Opcode.Add in
+  let c = Ddg.Builder.add_instr b ~name:"c" Opcode.Add in
+  Ddg.Builder.add_dep b ~src:p0 ~dst:c;
+  Ddg.Builder.add_dep b ~src:p1 ~dst:c;
+  let ddg = Ddg.Builder.freeze b in
+  let cns = Dspfabric.total_cns fabric16 in
+  let pg =
+    Pattern_graph.complete ~name:"flat16"
+      ~capacities:(Array.make cns Resource.cn)
+      ~max_in:2
+  in
+  let problem = Hca_core.Problem.of_ddg ~name:"flat16" ~ddg ~pg () in
+  let weights = Hca_core.Cost.default_weights in
+  let st = Hca_core.State.create problem in
+  let assign st node cluster =
+    match
+      Hca_core.State.try_assign st ~node ~cluster ~ii:4 ~target_ii:4 ~weights
+    with
+    | Ok st -> st
+    | Error e -> Alcotest.failf "assign %d -> CN%d: %s" node cluster e
+  in
+  let st = assign st p0 0 in
+  let st = assign st p1 4 in
+  let st = assign st c 8 in
+  { Hca_core.See.state = st; alternatives = []; explored = 0; routed = 0 }
+
+let test_hierarchy_violations_counted () =
+  let fabric16 = Dspfabric.make ~fanouts:[| 4; 2; 2 |] ~n:1 ~m:1 ~k:1 () in
+  let outcome = two_feeders_outcome fabric16 in
+  Alcotest.(check int) "two overflows" 2
+    (Flat_ica.hierarchy_violations fabric16 outcome)
+
+let test_hierarchy_violations_none_when_wide () =
+  let fabric16 = Dspfabric.make ~fanouts:[| 4; 2; 2 |] ~n:8 ~m:8 ~k:8 () in
+  let outcome = two_feeders_outcome fabric16 in
+  Alcotest.(check int) "fits the muxes" 0
+    (Flat_ica.hierarchy_violations fabric16 outcome)
+
 let test_random_assign_legal_budget () =
   let ddg = Hca_kernels.Fir2dim.ddg () in
   match Random_assign.run fabric ddg ~ii:2 with
@@ -117,6 +166,10 @@ let () =
         [
           Alcotest.test_case "runs" `Slow test_flat_ica_runs;
           Alcotest.test_case "violations" `Slow test_flat_ica_violations_detected;
+          Alcotest.test_case "violations counted" `Quick
+            test_hierarchy_violations_counted;
+          Alcotest.test_case "violations none when wide" `Quick
+            test_hierarchy_violations_none_when_wide;
         ] );
       ( "random",
         [
