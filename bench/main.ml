@@ -19,6 +19,12 @@
    "copies" and "runtime_s" — so the bench trajectory can be tracked
    across PRs by machines instead of eyeballs.
 
+   The global flag --jobs N (default: Domain.recommended_domain_count)
+   sizes the domain pool: table1 fans out the portfolio configurations,
+   fig_scaling/extended fan out over kernels, and optgap probes oracle
+   MII bounds concurrently.  Results are emitted in the sequential
+   order and are identical at every N; only the wall clock changes.
+
    Absolute numbers are NOT expected to match the paper (the substrate
    is a reconstruction); the shapes — who is legal, who degrades, where
    the bounds sit — are the reproduction target. *)
@@ -30,6 +36,8 @@ open Hca_core
 let reference = Dspfabric.reference
 
 let json_mode = ref false
+
+let jobs = ref (Hca_util.Domain_pool.default_jobs ())
 
 let heading title = if not !json_mode then Printf.printf "\n=== %s ===\n%!" title
 
@@ -73,8 +81,12 @@ let table1 () =
   List.iter2
     (fun (name, f) paper ->
       let ddg = f () in
-      let r = Report.run reference ddg in
-      let best, _ = Portfolio.run reference ddg in
+      (* One portfolio sweep per kernel: the "default" entry doubles as
+         the plain [Report.run] row, so the default configuration is
+         searched once, not twice. *)
+      let reports = Portfolio.run_all ~jobs:!jobs reference ddg in
+      let r = List.assoc "default" reports in
+      let best, _ = Portfolio.best_of reports in
       let optimum = Hca_baseline.Unified.mii ddg reference in
       if !json_mode then
         emit_json ~experiment:"table1" ~kernel:name
@@ -150,11 +162,19 @@ let fig_scaling () =
         right "Flat states"; right "Flat time(s)"; right "Flat MUX violations";
       ]
   in
+  let rows =
+    (* Independent kernels fan out; the row list comes back in registry
+       order, so the table reads the same at every --jobs. *)
+    Hca_util.Domain_pool.parallel_map ~jobs:!jobs
+      (fun (name, f) ->
+        let ddg = f () in
+        let hca = Report.run reference ddg in
+        let flat = Hca_baseline.Flat_ica.run reference ddg in
+        (name, hca, flat))
+      Hca_kernels.Registry.all
+  in
   List.iter
-    (fun (name, f) ->
-      let ddg = f () in
-      let hca = Report.run reference ddg in
-      let flat = Hca_baseline.Flat_ica.run reference ddg in
+    (fun (name, hca, flat) ->
       let violations =
         match flat.Hca_baseline.Flat_ica.outcome with
         | Some o ->
@@ -182,7 +202,7 @@ let fig_scaling () =
             Printf.sprintf "%.3f" flat.Hca_baseline.Flat_ica.runtime_s;
             (match violations with Some v -> string_of_int v | None -> "failed");
           ])
-    Hca_kernels.Registry.all;
+    rows;
   if not !json_mode then begin
     Hca_util.Tabular.print t;
     Printf.printf
@@ -407,7 +427,7 @@ let optgap () =
       let n = Ddg.size ddg in
       let budget_s = if n <= 24 then 10. else 5. in
       let hca = Report.run fabric ddg in
-      let oracle = Hca_exact.Oracle.run ~budget_s fabric ddg in
+      let oracle = Hca_exact.Oracle.run ~budget_s ~jobs:!jobs fabric ddg in
       let gap =
         match (hca.Report.final_mii, hca.Report.legal) with
         | Some achieved, true ->
@@ -595,6 +615,39 @@ let bechamel () =
         (Staged.stage
            (let g = Hca_kernels.H264deblock.ddg () in
             fun () -> ignore (Mii.rec_mii g)));
+      (* The hot paths the incremental-cost work targets: one SEE
+         packing pass, the warm-cache cost summary, and the from-scratch
+         recompute it replaced on the move path. *)
+      (let see_problem =
+         let ddg = Hca_kernels.Fir2dim.ddg () in
+         let pg =
+           Pattern_graph.complete ~name:"bench-see"
+             ~capacities:(Array.make 4 { Resource.alus = 8; ags = 8 })
+             ~max_in:4
+         in
+         Problem.of_ddg ~name:"bench-see" ~ddg ~pg ()
+       in
+       let rec solved ii =
+         if ii > 64 then invalid_arg "bench-see: no feasible II"
+         else
+           match See.solve see_problem ~ii with
+           | Ok o -> (ii, o.See.state)
+           | Error _ -> solved (ii + 1)
+       in
+       let see_ii, see_state =
+         solved (Mii.rec_mii (Hca_kernels.Fir2dim.ddg ()))
+       in
+       Test.make_grouped ~name:"core" ~fmt:"%s/%s"
+         [
+           Test.make ~name:"see-solve-fir2dim"
+             (Staged.stage (fun () -> ignore (See.solve see_problem ~ii:see_ii)));
+           Test.make ~name:"state-summary-fir2dim"
+             (Staged.stage (fun () -> ignore (State.summary see_state ~ii:see_ii)));
+           Test.make ~name:"state-recompute-fir2dim"
+             (Staged.stage (fun () ->
+                  State.recompute_cost see_state ~target_ii:see_ii
+                    ~weights:Cost.default_weights));
+         ]);
       Test.make ~name:"sched/modulo-fir2dim"
         (Staged.stage
            (let ddg = Hca_kernels.Fir2dim.ddg () in
@@ -700,10 +753,15 @@ let extended () =
         right "Final MII"; right "copies"; right "wires";
       ]
   in
+  let rows =
+    Hca_util.Domain_pool.parallel_map ~jobs:!jobs
+      (fun (name, f) ->
+        let ddg = f () in
+        (name, Report.run reference ddg))
+      Hca_kernels.Extended.all
+  in
   List.iter
-    (fun (name, f) ->
-      let ddg = f () in
-      let r = Report.run reference ddg in
+    (fun (name, r) ->
       let wires =
         match r.Report.result with
         | Some res -> Some (Topology.wire_count (Topology.of_result res))
@@ -731,7 +789,7 @@ let extended () =
             string_of_int r.Report.copies;
             (match wires with Some w -> string_of_int w | None -> "-");
           ])
-    Hca_kernels.Extended.all;
+    rows;
   if not !json_mode then Hca_util.Tabular.print t
 
 (* ------------------------------------------------------------------ *)
@@ -753,16 +811,30 @@ let experiments =
   ]
 
 let () =
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--json" then begin
-          json_mode := true;
-          false
-        end
-        else true)
-      (List.tl (Array.to_list Sys.argv))
+  let bad_jobs v =
+    Printf.eprintf "bad --jobs value %S: expected a positive integer\n" v;
+    exit 2
   in
+  let set_jobs v =
+    match int_of_string_opt v with
+    | Some n when n >= 1 -> jobs := n
+    | _ -> bad_jobs v
+  in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--json" :: rest ->
+        json_mode := true;
+        parse acc rest
+    | "--jobs" :: v :: rest ->
+        set_jobs v;
+        parse acc rest
+    | [ "--jobs" ] -> bad_jobs ""
+    | a :: rest when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
+        set_jobs (String.sub a 7 (String.length a - 7));
+        parse acc rest
+    | a :: rest -> parse (a :: acc) rest
+  in
+  let args = parse [] (List.tl (Array.to_list Sys.argv)) in
   match args with
   | _ :: _ as names ->
       List.iter

@@ -82,6 +82,14 @@ let config_term =
   in
   Term.(const make $ beam $ cand $ spread $ fanin_cap)
 
+let jobs_term =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Size of the domain pool used to probe candidate IIs (or oracle \
+           MII bounds) concurrently.  Results are identical at every N.")
+
 let resources_of fabric = Dspfabric.resources fabric
 
 let stats_cmd =
@@ -101,11 +109,11 @@ let stats_cmd =
     Term.(const run $ kernel_arg $ fabric_term)
 
 let run_cmd =
-  let run (name, f) fabric config ii =
+  let run (name, f) fabric config jobs ii =
     ignore name;
     match ii with
     | None ->
-        let report = Report.run ~config fabric (f ()) in
+        let report = Report.run ~config ~jobs fabric (f ()) in
         Format.printf "%a@." Report.pp report
     | Some ii -> (
         (* Debug mode: a single HCA pass at a fixed II. *)
@@ -124,7 +132,7 @@ let run_cmd =
       & info [ "ii" ] ~docv:"II" ~doc:"Single fixed II (debug).")
   in
   Cmd.v (Cmd.info "run" ~doc:"Run HCA on one kernel")
-    Term.(const run $ kernel_arg $ fabric_term $ config_term $ ii_arg)
+    Term.(const run $ kernel_arg $ fabric_term $ config_term $ jobs_term $ ii_arg)
 
 let table1_cmd =
   let run fabric config =
@@ -348,15 +356,15 @@ let simulate_cmd =
     Term.(const run $ kernel_arg $ fabric_term $ config_term $ iters)
 
 let portfolio_cmd =
-  let run (name, f) fabric =
+  let run (name, f) fabric jobs =
     ignore name;
-    let report, winner = Portfolio.run fabric (f ()) in
+    let report, winner = Portfolio.run ~jobs fabric (f ()) in
     Format.printf "%a@.winning configuration: %s@." Report.pp report winner
   in
   Cmd.v
     (Cmd.info "portfolio"
        ~doc:"Run the configuration portfolio and keep the best result")
-    Term.(const run $ kernel_arg $ fabric_term)
+    Term.(const run $ kernel_arg $ fabric_term $ jobs_term)
 
 let rcp_cmd =
   let run (name, f) ports =
@@ -385,10 +393,10 @@ let rcp_cmd =
 
 let exact_cmd =
   let module O = Hca_exact.Oracle in
-  let run (name, f) fabric budget strict max_ii no_hca =
+  let run (name, f) fabric budget strict max_ii jobs no_hca =
     let ddg = f () in
     Format.printf "kernel %s on %s@." name (Dspfabric.name fabric);
-    let oracle = O.run ~strict ~budget_s:budget ?max_ii fabric ddg in
+    let oracle = O.run ~strict ~budget_s:budget ?max_ii ~jobs fabric ddg in
     Format.printf "%a@." O.pp oracle;
     if not no_hca then begin
       let report = Report.run fabric ddg in
@@ -437,7 +445,9 @@ let exact_cmd =
   Cmd.v
     (Cmd.info "exact"
        ~doc:"Exact SAT-based cluster-assignment oracle (optimality gap)")
-    Term.(const run $ kernel_arg $ fabric_term $ budget $ strict $ max_ii $ no_hca)
+    Term.(
+      const run $ kernel_arg $ fabric_term $ budget $ strict $ max_ii
+      $ jobs_term $ no_hca)
 
 let list_cmd =
   let run () =

@@ -25,7 +25,7 @@ let problem_of fabric ddg =
   Problem.of_ddg ~name:(Ddg.name ddg ^ ".flat") ~ddg ~pg ()
 
 let run ?(config = Config.default) fabric ddg =
-  let t0 = Sys.time () in
+  let t0 = Hca_util.Clock.now () in
   let problem = problem_of fabric ddg in
   let lower = Mii.mii ddg (Dspfabric.resources fabric) in
   let explored = ref 0 in
@@ -50,7 +50,7 @@ let run ?(config = Config.default) fabric ddg =
         copies = 0;
         ii_used = 0;
         explored = !explored;
-        runtime_s = Sys.time () -. t0;
+        runtime_s = Hca_util.Clock.now () -. t0;
         error = err;
       }
   | Some (ii, outcome), _ ->
@@ -61,7 +61,7 @@ let run ?(config = Config.default) fabric ddg =
         copies = summary.Cost.copies;
         ii_used = ii;
         explored = !explored;
-        runtime_s = Sys.time () -. t0;
+        runtime_s = Hca_util.Clock.now () -. t0;
         error = None;
       }
 

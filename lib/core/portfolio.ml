@@ -32,13 +32,24 @@ let better (a : Report.t) (b : Report.t) =
       | Some _, None -> true
       | None, _ -> false)
 
-let run ?(configs = default_configs) fabric ddg =
+let run_all ?(jobs = 1) ?(configs = default_configs) fabric ddg =
   match configs with
   | [] -> invalid_arg "Portfolio.run: empty configuration list"
-  | (name0, config0) :: rest ->
-      let first = Report.run ~config:config0 fabric ddg in
+  | _ ->
+      (* The configurations are fully independent searches, so they
+         fan out onto the domain pool; the result list keeps the
+         configuration order, so every fold over it is deterministic. *)
+      Hca_util.Domain_pool.parallel_map ~jobs
+        (fun (name, config) -> (name, Report.run ~config fabric ddg))
+        configs
+
+let best_of = function
+  | [] -> invalid_arg "Portfolio.best_of: empty report list"
+  | (name0, first) :: rest ->
       List.fold_left
-        (fun (best, best_name) (name, config) ->
-          let r = Report.run ~config fabric ddg in
+        (fun (best, best_name) (name, r) ->
           if better r best then (r, name) else (best, best_name))
         (first, name0) rest
+
+let run ?jobs ?configs fabric ddg =
+  best_of (run_all ?jobs ?configs fabric ddg)

@@ -13,7 +13,33 @@ val default_configs : (string * Config.t) list
 (** Diverse and cheap: default, wide beam, criticality order, spread
     wires, and copy-averse weights. *)
 
+val run_all :
+  ?jobs:int ->
+  ?configs:(string * Config.t) list ->
+  Dspfabric.t ->
+  Ddg.t ->
+  (string * Report.t) list
+(** One report per configuration, in configuration order.  The
+    configurations are independent, so [jobs > 1] evaluates them
+    concurrently on a {!Hca_util.Domain_pool}; the returned list is
+    merged back in configuration order, so the output is identical at
+    every [jobs].
+    @raise Invalid_argument on an empty configuration list. *)
+
+val best_of : (string * Report.t) list -> Report.t * string
+(** The winning report (and its configuration name) from a list as
+    returned by {!run_all}: legal beats illegal, then smaller final
+    MII, then fewer copies; earlier entries win ties.  Lets callers
+    that need every report (e.g. the bench tables) avoid re-running
+    the search just to learn the winner.
+    @raise Invalid_argument on an empty list. *)
+
 val run :
-  ?configs:(string * Config.t) list -> Dspfabric.t -> Ddg.t -> Report.t * string
+  ?jobs:int ->
+  ?configs:(string * Config.t) list ->
+  Dspfabric.t ->
+  Ddg.t ->
+  Report.t * string
 (** Best report plus the name of the winning configuration.  Falls back
-    to the default configuration's report when nothing is legal. *)
+    to the default configuration's report when nothing is legal.
+    [jobs] as in {!run_all}: same winner at any value. *)

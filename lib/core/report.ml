@@ -44,19 +44,16 @@ let base_row ~kernel ~machine ddg fabric_resources =
     result = None;
   }
 
-let run ?(config = Config.default) fabric ddg =
-  let t0 = Sys.time () in
+let run ?(config = Config.default) ?(jobs = 1) fabric ddg =
+  let t0 = Hca_util.Clock.now () in
   let base =
     base_row ~kernel:(Ddg.name ddg) ~machine:(Dspfabric.name fabric) ddg
       (Dspfabric.resources fabric)
   in
-  let explored = ref 0 and routed = ref 0 in
   let attempt ii =
     match Hierarchy.solve ~config ~target_ii:base.ini_mii fabric ddg ~ii with
     | Error e -> Error e
     | Ok res ->
-        explored := !explored + res.Hierarchy.explored;
-        routed := !routed + res.Hierarchy.routed;
         let metrics = Metrics.of_result res in
         let legal = Coherency.is_legal res in
         Ok (res, metrics, legal)
@@ -66,23 +63,45 @@ let run ?(config = Config.default) fabric ddg =
   (* Wire constraints do not relax with the II, so a deep climb is
      pointless: cap the search well before the configured ceiling. *)
   let ii_limit = min config.Config.max_ii ((4 * base.ini_mii) + 12) in
+  (* Memoised attempts.  At [jobs > 1] the climb probes [jobs]
+     consecutive IIs speculatively on the domain pool; the probes past
+     the first feasible II are exactly the patience candidates, so a
+     kernel whose iniMII is feasible finishes in a single parallel
+     round.  The climb itself still commits to the lowest feasible II
+     in order, so the outcome is identical to the sequential walk. *)
+  let cache = Hashtbl.create 16 in
+  let eval ii =
+    match Hashtbl.find_opt cache ii with
+    | Some r -> r
+    | None ->
+        let r = attempt ii in
+        Hashtbl.replace cache ii r;
+        r
+  in
+  let eval_batch iis =
+    match List.filter (fun ii -> not (Hashtbl.mem cache ii)) iis with
+    | [] -> ()
+    | fresh ->
+        List.iter
+          (fun (ii, r) -> Hashtbl.replace cache ii r)
+          (Hca_util.Domain_pool.parallel_map ~jobs
+             (fun ii -> (ii, attempt ii))
+             fresh)
+  in
   let rec climb ii last_error =
     if ii > ii_limit then (None, last_error)
-    else
-      match attempt ii with
+    else begin
+      if jobs > 1 && not (Hashtbl.mem cache ii) then
+        eval_batch (List.init (min jobs (ii_limit - ii + 1)) (fun i -> ii + i));
+      match eval ii with
       | Ok ok -> (Some (ii, ok), None)
       | Error e -> climb (ii + 1) (Some e)
+    end
   in
   let first, error = climb base.ini_mii None in
   match first with
   | None ->
-      {
-        base with
-        error;
-        explored_states = !explored;
-        routed_moves = !routed;
-        runtime_s = Sys.time () -. t0;
-      }
+      { base with error; runtime_s = Hca_util.Clock.now () -. t0 }
   | Some (ii0, first_ok) ->
       let better_than (_, m1, l1) (_, m2, l2) =
         match (l1, l2) with
@@ -91,12 +110,29 @@ let run ?(config = Config.default) fabric ddg =
         | _ ->
             (m1 : Metrics.t).final_mii < (m2 : Metrics.t).final_mii
       in
+      (* Only attempts the sequential walk would have made count
+         towards the explored/routed totals, so the figures match at
+         any [jobs]. *)
+      let explored = ref 0 and routed = ref 0 in
+      let count (res, _, _) =
+        explored := !explored + res.Hierarchy.explored;
+        routed := !routed + res.Hierarchy.routed
+      in
+      count first_ok;
+      let patience_iis =
+        let hi = min config.Config.max_ii (ii0 + config.Config.ii_patience) in
+        List.init (max 0 (hi - ii0)) (fun i -> ii0 + 1 + i)
+      in
+      if jobs > 1 then eval_batch patience_iis;
       let best = ref (ii0, first_ok) in
-      for ii = ii0 + 1 to min config.Config.max_ii (ii0 + config.Config.ii_patience) do
-        match attempt ii with
-        | Ok ok when better_than ok (snd !best) -> best := (ii, ok)
-        | Ok _ | Error _ -> ()
-      done;
+      List.iter
+        (fun ii ->
+          match eval ii with
+          | Ok ok ->
+              count ok;
+              if better_than ok (snd !best) then best := (ii, ok)
+          | Error _ -> ())
+        patience_iis;
       let ii_used, (res, metrics, legal) = !best in
       {
         base with
@@ -108,7 +144,7 @@ let run ?(config = Config.default) fabric ddg =
         max_wire_load = metrics.Metrics.max_wire_load;
         explored_states = !explored;
         routed_moves = !routed;
-        runtime_s = Sys.time () -. t0;
+        runtime_s = Hca_util.Clock.now () -. t0;
         error = (if legal then None else Some "coherency check failed");
         result = Some res;
       }

@@ -27,12 +27,18 @@ type t = {
   max_wire_load : int;
   explored_states : int;
   routed_moves : int;
-  runtime_s : float;  (** CPU seconds spent in the whole search *)
+  runtime_s : float;  (** wall-clock seconds spent in the whole search *)
   error : string option;
   result : Hierarchy.t option;  (** the winning assignment, for inspection *)
 }
 
-val run : ?config:Config.t -> Dspfabric.t -> Ddg.t -> t
+val run : ?config:Config.t -> ?jobs:int -> Dspfabric.t -> Ddg.t -> t
+(** [jobs] (default 1) sizes the domain pool used to probe candidate
+    IIs.  The climb evaluates [jobs] consecutive IIs speculatively per
+    round and still commits to the lowest feasible one; the probes past
+    it are reused as the patience attempts.  Results — including the
+    [explored_states]/[routed_moves] totals — are identical at every
+    [jobs]; only the wall clock changes. *)
 
 val failure_row : kernel:string -> machine:string -> Ddg.t -> string -> t
 (** A row for a kernel that could not be clusterised, with the static

@@ -57,14 +57,6 @@ let candidate_clusters problem =
   Hca_machine.Pattern_graph.regular_nodes (Problem.pg problem)
   |> List.map (fun (nd : Hca_machine.Pattern_graph.node) -> nd.id)
 
-let take n l =
-  let rec go n = function
-    | [] -> []
-    | _ when n = 0 -> []
-    | x :: tl -> x :: go (n - 1) tl
-  in
-  go n l
-
 let solve ?(config = Config.default) ?target_ii ?(backbone = []) problem ~ii =
   let target_ii = Option.value ~default:ii target_ii in
   let weights = config.Config.weights in
@@ -128,6 +120,9 @@ let solve ?(config = Config.default) ?target_ii ?(backbone = []) problem ~ii =
     | [] -> []
   in
   let by_cost a b = compare (State.cost a) (State.cost b) in
+  (* Frontier cuts: stable top-k selection instead of sorting whole
+     child lists only to drop everything past the beam. *)
+  let best_k k states = Hca_util.Topk.smallest ~k ~key:State.cost states in
   let rec loop pos frontier = function
     | [] -> (
         match List.sort by_cost frontier with
@@ -145,8 +140,8 @@ let solve ?(config = Config.default) ?target_ii ?(backbone = []) problem ~ii =
         let children =
           List.concat_map
             (fun st ->
-              take config.Config.candidate_width
-                (List.sort by_cost (expand ~tail_of_region node st)))
+              best_k config.Config.candidate_width
+                (expand ~tail_of_region node st))
             frontier
         in
         (match children with
@@ -195,9 +190,7 @@ let solve ?(config = Config.default) ?target_ii ?(backbone = []) problem ~ii =
                  (Hca_machine.Pattern_graph.max_in pg)
                  diagnosis)
         | _ ->
-            let frontier' =
-              take config.Config.beam_width (List.sort by_cost children)
-            in
+            let frontier' = best_k config.Config.beam_width children in
             loop (pos + 1) frontier' rest)
   in
   loop 0 [ State.create ~backbone problem ] order

@@ -4,6 +4,7 @@ open Hca_machine
 type t = {
   problem : Problem.t;
   place : int array;  (* problem node -> PG node, -1 when unassigned *)
+  members : int list array;  (* PG node -> problem nodes, id ascending *)
   flow : Copy_flow.t;
   dem : Resource.t array;  (* per PG node *)
   mutable fwds : (Instr.id * Pattern_graph.node_id) list;
@@ -11,33 +12,50 @@ type t = {
   mutable cost_v : float;
   mutable extra_cost : float;
   mutable assigned : int;
+  (* Per-cluster cost contributions, valid for the window [cache_ii]
+     (-1 = stale).  A move touches at most a handful of clusters, so
+     [try_assign] refreshes only those instead of re-walking every PG
+     regular node per candidate. *)
+  node_util : float array;
+  node_proj : int array;
+  node_fanin : float array;
+  mutable cache_ii : int;
 }
 
 let create ?(backbone = []) problem =
   let pg = Problem.pg problem in
   let n = Problem.size problem in
+  let pg_n = Pattern_graph.size pg in
   let place = Array.make n (-1) in
+  let members = Array.make pg_n [] in
   let assigned = ref 0 in
   Array.iter
     (fun (nd : Problem.node) ->
       match nd.pinned with
       | Some c ->
           place.(nd.id) <- c;
+          members.(c) <- nd.id :: members.(c);
           incr assigned
       | None -> ())
     (Problem.nodes problem);
+  Array.iteri (fun c l -> members.(c) <- List.rev l) members;
   let flow = Copy_flow.create ~max_in_ports:(Problem.max_in_ports problem) pg in
   List.iter (fun (src, dst) -> Copy_flow.reserve_neighbor flow ~src ~dst) backbone;
   {
     problem;
     place;
+    members;
     flow;
-    dem = Array.make (Pattern_graph.size pg) Resource.zero;
+    dem = Array.make pg_n Resource.zero;
     fwds = [];
     carried_cuts = 0;
     cost_v = 0.0;
     extra_cost = 0.0;
     assigned = !assigned;
+    node_util = Array.make pg_n 0.0;
+    node_proj = Array.make pg_n 1;
+    node_fanin = Array.make pg_n 0.0;
+    cache_ii = -1;
   }
 
 let problem t = t.problem
@@ -46,8 +64,12 @@ let clone t =
   {
     t with
     place = Array.copy t.place;
+    members = Array.copy t.members;
     flow = Copy_flow.clone t.flow;
     dem = Array.copy t.dem;
+    node_util = Array.copy t.node_util;
+    node_proj = Array.copy t.node_proj;
+    node_fanin = Array.copy t.node_fanin;
   }
 
 let placement t id = if t.place.(id) < 0 then None else Some t.place.(id)
@@ -60,16 +82,43 @@ let flow t = t.flow
 
 let demand t c = t.dem.(c)
 
-let cluster_nodes t c =
-  let acc = ref [] in
-  for id = Array.length t.place - 1 downto 0 do
-    if t.place.(id) = c then acc := id :: !acc
-  done;
-  !acc
+let cluster_nodes t c = t.members.(c)
 
 let forwards t = t.fwds
 
-let summary t ~ii =
+(* One cluster's cost terms, recomputed from its demand accumulator and
+   the flow's O(1) counters. *)
+let refresh_node t ~ii (nd : Pattern_graph.node) =
+  let pg = Problem.pg t.problem in
+  let cap = nd.capacity in
+  let d = t.dem.(nd.id) in
+  let slots = cap.Resource.alus + cap.Resource.ags in
+  if slots > 0 then begin
+    let used = d.Resource.alus + d.Resource.ags in
+    t.node_util.(nd.id) <- float_of_int used /. float_of_int (slots * ii)
+  end;
+  t.node_proj.(nd.id) <-
+    Cost.cluster_mii ~demand:d ~capacity:cap
+      ~receives:(Copy_flow.in_pressure t.flow nd.id)
+      ~max_in:(Pattern_graph.max_in pg);
+  let sat =
+    float_of_int (Copy_flow.real_in_count t.flow nd.id)
+    /. float_of_int (Pattern_graph.max_in pg)
+  in
+  t.node_fanin.(nd.id) <- sat *. sat
+
+let refresh_all t ~ii =
+  List.iter
+    (fun nd -> refresh_node t ~ii nd)
+    (Pattern_graph.regular_nodes (Problem.pg t.problem));
+  t.cache_ii <- ii
+
+let ensure_cache t ~ii = if t.cache_ii <> ii then refresh_all t ~ii
+
+(* Fold the cached per-cluster terms; same iteration order as a
+   from-scratch walk, so incremental and reference costs are
+   bit-identical. *)
+let aggregate t ~ii =
   let pg = Problem.pg t.problem in
   let regs = Pattern_graph.regular_nodes pg in
   let max_util = ref 0.0 and min_util = ref infinity in
@@ -78,24 +127,13 @@ let summary t ~ii =
   List.iter
     (fun (nd : Pattern_graph.node) ->
       let cap = nd.capacity in
-      let d = t.dem.(nd.id) in
-      let slots = cap.Resource.alus + cap.Resource.ags in
-      if slots > 0 then begin
-        let used = d.Resource.alus + d.Resource.ags in
-        let util = float_of_int used /. float_of_int (slots * ii) in
+      if cap.Resource.alus + cap.Resource.ags > 0 then begin
+        let util = t.node_util.(nd.id) in
         if util > !max_util then max_util := util;
         if util < !min_util then min_util := util
       end;
-      let in_p = Copy_flow.in_pressure t.flow nd.id in
-      projected :=
-        max !projected
-          (Cost.cluster_mii ~demand:d ~capacity:cap ~receives:in_p
-             ~max_in:(Pattern_graph.max_in pg));
-      let sat =
-        float_of_int (List.length (Copy_flow.real_in_neighbors t.flow nd.id))
-        /. float_of_int (Pattern_graph.max_in pg)
-      in
-      fanin_sat := !fanin_sat +. (sat *. sat))
+      projected := max !projected t.node_proj.(nd.id);
+      fanin_sat := !fanin_sat +. t.node_fanin.(nd.id))
     regs;
   let min_util = if !min_util = infinity then 0.0 else !min_util in
   {
@@ -104,10 +142,14 @@ let summary t ~ii =
     util_spread = !max_util -. min_util;
     projected_ii = !projected;
     target_ii = ii;
-    used_in_ports = List.length (Copy_flow.used_in_ports t.flow);
+    used_in_ports = Copy_flow.used_in_ports_count t.flow;
     fanin_sat = !fanin_sat;
     carried_cuts = t.carried_cuts;
   }
+
+let summary t ~ii =
+  ensure_cache t ~ii;
+  aggregate t ~ii
 
 let cost t = t.cost_v +. t.extra_cost
 
@@ -119,11 +161,31 @@ let free_issue_slots t ~cluster ~ii =
   (Resource.issue_slots cap * ii) - (d.Resource.alus + d.Resource.ags)
 
 let recompute_cost t ~target_ii ~weights =
-  t.cost_v <- Cost.score weights (summary t ~ii:target_ii)
+  refresh_all t ~ii:target_ii;
+  t.cost_v <- Cost.score weights (aggregate t ~ii:target_ii)
+
+(* Incremental twin of {!recompute_cost}: refresh only the clusters a
+   move changed (its target plus every copy destination). *)
+let update_cost t ~touched ~target_ii ~weights =
+  if t.cache_ii <> target_ii then refresh_all t ~ii:target_ii
+  else begin
+    let pg = Problem.pg t.problem in
+    List.iter
+      (fun id ->
+        if Pattern_graph.is_regular pg id then
+          refresh_node t ~ii:target_ii (Pattern_graph.node pg id))
+      touched
+  end;
+  t.cost_v <- Cost.score weights (aggregate t ~ii:target_ii)
 
 let same_circuit t a b =
   let scc = Problem.scc_of t.problem in
   scc.(a) >= 0 && scc.(a) = scc.(b)
+
+let rec insert_sorted x = function
+  | [] -> [ x ]
+  | y :: _ as l when x < y -> x :: l
+  | y :: tl -> y :: insert_sorted x tl
 
 let try_assign t ~node ~cluster ~ii ~target_ii ~weights =
   let nd = Problem.node t.problem node in
@@ -138,12 +200,15 @@ let try_assign t ~node ~cluster ~ii ~target_ii ~weights =
     else begin
       let t' = clone t in
       t'.place.(node) <- cluster;
+      t'.members.(cluster) <- insert_sorted node t'.members.(cluster);
       t'.dem.(cluster) <- demand';
       t'.assigned <- t'.assigned + 1;
+      let touched = ref [ cluster ] in
       let route ~src ~dst ~carried value =
         if src = dst then Ok ()
         else if Copy_flow.can_add t'.flow ~src ~dst then begin
           Copy_flow.add_copy t'.flow ~src ~dst value;
+          touched := dst :: !touched;
           if carried then t'.carried_cuts <- t'.carried_cuts + 1;
           Ok ()
         end
@@ -175,7 +240,7 @@ let try_assign t ~node ~cluster ~ii ~target_ii ~weights =
               | Ok () -> ()
               | Error m -> raise (Blocked m))
           (Problem.succs t.problem node);
-        recompute_cost t' ~target_ii ~weights;
+        update_cost t' ~touched:!touched ~target_ii ~weights;
         Ok t'
       with Blocked m -> Error m
     end
@@ -193,8 +258,10 @@ let force_assign t ~node ~cluster ~ii =
     else begin
       let t' = clone t in
       t'.place.(node) <- cluster;
+      t'.members.(cluster) <- insert_sorted node t'.members.(cluster);
       t'.dem.(cluster) <- demand';
       t'.assigned <- t'.assigned + 1;
+      t'.cache_ii <- -1;
       let blocked = ref [] in
       let route ~src ~dst ~carried value =
         if src <> dst then
@@ -225,6 +292,10 @@ let force_assign t ~node ~cluster ~ii =
 
 let add_forward t ~value ~via =
   t.dem.(via) <- Resource.add t.dem.(via) { Resource.alus = 1; ags = 0 };
+  (* The Route Allocator mutates the flow behind our back as well; its
+     commit always ends in a full [recompute_cost], so just mark the
+     contribution caches stale. *)
+  t.cache_ii <- -1;
   t.fwds <- (value, via) :: t.fwds
 
 let pp ppf t =

@@ -75,7 +75,9 @@ val flow : t -> Copy_flow.t
 val demand : t -> Pattern_graph.node_id -> Resource.t
 
 val cluster_nodes : t -> Pattern_graph.node_id -> int list
-(** Problem nodes placed on a cluster, oldest first. *)
+(** Problem nodes placed on a cluster, id ascending.  Served from a
+    cluster->nodes reverse index maintained on assignment, not by
+    rescanning the placement array. *)
 
 val summary : t -> ii:int -> Cost.summary
 
@@ -92,5 +94,9 @@ val free_issue_slots : t -> cluster:Pattern_graph.node_id -> ii:int -> int
 (** Remaining issue capacity of a cluster under the window [ii]. *)
 
 val recompute_cost : t -> target_ii:int -> weights:Cost.weights -> unit
+(** From-scratch reference: rebuilds every per-cluster cost
+    contribution and re-scores.  {!try_assign} instead refreshes only
+    the clusters a move touched; the two agree bit for bit (property
+    tested), the incremental path just skips the untouched clusters. *)
 
 val pp : Format.formatter -> t -> unit

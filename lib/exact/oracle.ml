@@ -27,8 +27,8 @@ let problem_of fabric ddg =
   in
   Problem.of_ddg ~name:(Ddg.name ddg ^ ".exact") ~ddg ~pg ()
 
-let run ?(strict = false) ?(budget_s = 10.) ?max_ii fabric ddg =
-  let t0 = Sys.time () in
+let run ?(strict = false) ?(budget_s = 10.) ?max_ii ?(jobs = 1) fabric ddg =
+  let t0 = Hca_util.Clock.now () in
   let deadline = t0 +. budget_s in
   let problem = problem_of fabric ddg in
   let inst = Encode.of_problem problem in
@@ -45,26 +45,53 @@ let run ?(strict = false) ?(budget_s = 10.) ?max_ii fabric ddg =
   let explored = ref 0 in
   let error = ref None in
   while !lo <= !hi && (not !timed_out) && !error = None do
-    let k = (!lo + !hi) / 2 in
-    let enc = Encode.encode ~strict inst ~k in
-    (match Sat.solve ~deadline enc.Encode.sat with
-    | Sat.Sat ->
-        let a = Encode.decode inst enc in
-        (* Independent re-check: the clauses and the cost terms must
-           agree on what they bounded. *)
-        let got = Encode.cluster_mii_of_assignment inst a in
-        if got > k && not strict then
-          error :=
-            Some
-              (Printf.sprintf
-                 "internal: model at k=%d recomputes to cluster MII %d" k got)
-        else begin
-          best := Some (k, a);
-          hi := k - 1
-        end
-    | Sat.Unsat -> lo := k + 1
-    | Sat.Unknown -> timed_out := true);
-    explored := !explored + Sat.conflicts enc.Encode.sat
+    (* Probe points for this round: the binary-search midpoint at
+       [jobs = 1], otherwise [width] bounds splitting [lo..hi] into
+       equal slices — an n-ary search whose every verdict tightens one
+       of the two bounds, probed concurrently on the pool.  The merge
+       below walks the verdicts in ascending-k order, so the outcome
+       does not depend on domain scheduling. *)
+    let ks =
+      let width = min jobs (!hi - !lo + 1) in
+      if width <= 1 then [ (!lo + !hi) / 2 ]
+      else begin
+        let span = !hi - !lo + 1 in
+        List.sort_uniq compare
+          (List.init width (fun i -> !lo + (span * (i + 1) / (width + 1))))
+      end
+    in
+    let verdicts =
+      Hca_util.Domain_pool.parallel_map ~jobs
+        (fun k ->
+          let enc = Encode.encode ~strict inst ~k in
+          let v = Sat.solve ~deadline enc.Encode.sat in
+          (k, v, enc))
+        ks
+    in
+    List.iter
+      (fun (k, verdict, enc) ->
+        (match verdict with
+        | Sat.Sat ->
+            let a = Encode.decode inst enc in
+            (* Independent re-check: the clauses and the cost terms must
+               agree on what they bounded. *)
+            let got = Encode.cluster_mii_of_assignment inst a in
+            if got > k && not strict then
+              error :=
+                Some
+                  (Printf.sprintf
+                     "internal: model at k=%d recomputes to cluster MII %d" k
+                     got)
+            else begin
+              (match !best with
+              | Some (k', _) when k' <= k -> ()
+              | _ -> best := Some (k, a));
+              hi := min !hi (k - 1)
+            end
+        | Sat.Unsat -> lo := max !lo (k + 1)
+        | Sat.Unknown -> timed_out := true);
+        explored := !explored + Sat.conflicts enc.Encode.sat)
+      verdicts
   done;
   let status, final_mii, assignment, ii_used =
     match !best with
@@ -86,7 +113,7 @@ let run ?(strict = false) ?(budget_s = 10.) ?max_ii fabric ddg =
       | None -> 0);
     ii_used;
     explored = !explored;
-    runtime_s = Sys.time () -. t0;
+    runtime_s = Hca_util.Clock.now () -. t0;
     error =
       (match (!error, !timed_out) with
       | (Some _ as e), _ -> e

@@ -48,13 +48,22 @@ val run :
   ?strict:bool ->
   ?budget_s:float ->
   ?max_ii:int ->
+  ?jobs:int ->
   Dspfabric.t ->
   Ddg.t ->
   t
 (** [budget_s] (default [10.]) bounds the whole MII search wall-clock;
     [strict] adds the structural MUX/wire clauses (see {!Encode});
     [max_ii] caps the search range (default: the instance size, whose
-    all-on-one-CN assignment is always feasible). *)
+    all-on-one-CN assignment is always feasible).
+
+    [jobs] (default 1) probes that many MII bounds concurrently per
+    search round, each with its own solver instance, turning the binary
+    search into an n-ary one.  [jobs = 1] reproduces the sequential
+    binary search exactly; at any [jobs] the verdicts are merged in
+    ascending-bound order, so the certified optimum and the returned
+    model depend only on the instance, never on domain scheduling (the
+    [explored] conflict count does vary with the probe set). *)
 
 val status_to_string : status -> string
 

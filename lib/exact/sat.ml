@@ -402,7 +402,7 @@ let solve ?(assumptions = []) ?(deadline = infinity) ?max_conflicts t =
                    attach t learnt;
                    enqueue t learnt.(0) (Some learnt));
                t.var_inc <- t.var_inc /. 0.95;
-               if t.n_conflicts land 255 = 0 && Sys.time () > deadline then
+               if t.n_conflicts land 255 = 0 && Hca_util.Clock.now () > deadline then
                  raise Exit;
                if t.n_conflicts >= budget then raise Exit
              end

@@ -36,7 +36,8 @@ val solve :
     [assumptions] are literals decided (in order) before any free
     decision; if the clause set forces their negation the answer is
     [Unsat] {e under the assumptions} — the clause set itself stays
-    reusable.  [deadline] is an absolute [Sys.time] instant and
+    reusable.  [deadline] is an absolute wall-clock instant
+    ({!Hca_util.Clock.now} seconds) and
     [max_conflicts] a conflict budget; crossing either returns
     [Unknown]. *)
 

@@ -1,10 +1,19 @@
 open Hca_ddg
 
+(* The aggregate counters mirror [values]/[reserved] so the hot cost
+   queries ([copy_count], [in_pressure], [can_add]...) are O(1) reads
+   instead of matrix walks; every mutation keeps them in sync. *)
 type t = {
   pg : Pattern_graph.t;
   max_in_ports : int;
   values : Instr.id list array array;  (* values.(src).(dst), reverse order *)
   reserved : bool array array;  (* backbone arcs: slot pre-committed *)
+  mutable total : int;  (* value-hops over all arcs *)
+  in_pres : int array;  (* values entering each node *)
+  in_deg : int array;  (* distinct real in-neighbours *)
+  out_deg : int array;  (* distinct real out-neighbours *)
+  committed_in : int array;  (* real or reserved in-arcs *)
+  mutable used_ports : int;  (* in-ports with at least one out-arc *)
 }
 
 let create ?(max_in_ports = max_int) pg =
@@ -14,12 +23,25 @@ let create ?(max_in_ports = max_int) pg =
     max_in_ports;
     values = Array.init n (fun _ -> Array.make n []);
     reserved = Array.init n (fun _ -> Array.make n false);
+    total = 0;
+    in_pres = Array.make n 0;
+    in_deg = Array.make n 0;
+    out_deg = Array.make n 0;
+    committed_in = Array.make n 0;
+    used_ports = 0;
   }
 
 let pg t = t.pg
 
 let clone t =
-  { t with values = Array.map Array.copy t.values }
+  {
+    t with
+    values = Array.map Array.copy t.values;
+    in_pres = Array.copy t.in_pres;
+    in_deg = Array.copy t.in_deg;
+    out_deg = Array.copy t.out_deg;
+    committed_in = Array.copy t.committed_in;
+  }
   (* [reserved] is never mutated after setup, so sharing it is safe. *)
 
 let copies t ~src ~dst = List.rev t.values.(src).(dst)
@@ -43,7 +65,11 @@ let real_out_neighbors t id =
 let used_in_ports t =
   Pattern_graph.in_ports t.pg
   |> List.filter_map (fun (nd : Pattern_graph.node) ->
-         if real_out_neighbors t nd.id <> [] then Some nd.id else None)
+         if t.out_deg.(nd.id) > 0 then Some nd.id else None)
+
+let used_in_ports_count t = t.used_ports
+
+let real_in_count t id = t.in_deg.(id)
 
 let is_in_port t id =
   match (Pattern_graph.node t.pg id).kind with
@@ -56,35 +82,40 @@ let max_in_for t dst =
   | Pattern_graph.Regular -> Pattern_graph.max_in t.pg
   | Pattern_graph.In_port _ -> 0
 
-(* In-degree with backbone reservations folded in: a reserved arc holds
-   its slot whether or not a value flows yet. *)
-let committed_in_degree t dst =
-  let n = Pattern_graph.size t.pg in
-  let count = ref 0 in
-  for src = 0 to n - 1 do
-    if t.values.(src).(dst) <> [] || t.reserved.(src).(dst) then incr count
-  done;
-  !count
-
 let reserve_neighbor t ~src ~dst =
   if not (Pattern_graph.is_potential t.pg ~src ~dst) then
     invalid_arg "Copy_flow.reserve_neighbor: arc not potential";
+  (* In-degree with backbone reservations folded in: a reserved arc
+     holds its slot whether or not a value flows yet. *)
+  if (not t.reserved.(src).(dst)) && t.values.(src).(dst) = [] then
+    t.committed_in.(dst) <- t.committed_in.(dst) + 1;
   t.reserved.(src).(dst) <- true
 
 let can_add t ~src ~dst =
   Pattern_graph.is_potential t.pg ~src ~dst
   && (is_real t ~src ~dst || t.reserved.(src).(dst)
-     || committed_in_degree t dst < max_in_for t dst
+     || t.committed_in.(dst) < max_in_for t dst
         && ((not (is_in_port t src))
-           || List.mem src (used_in_ports t)
-           || List.length (used_in_ports t) < t.max_in_ports))
+           || t.out_deg.(src) > 0
+           || t.used_ports < t.max_in_ports))
 
 let add_copy t ~src ~dst value =
   if not (can_add t ~src ~dst) then
     invalid_arg
       (Printf.sprintf "Copy_flow.add_copy: arc %d->%d not allowed" src dst);
-  if not (List.mem value t.values.(src).(dst)) then
-    t.values.(src).(dst) <- value :: t.values.(src).(dst)
+  if not (List.mem value t.values.(src).(dst)) then begin
+    if t.values.(src).(dst) = [] then begin
+      t.in_deg.(dst) <- t.in_deg.(dst) + 1;
+      t.out_deg.(src) <- t.out_deg.(src) + 1;
+      if is_in_port t src && t.out_deg.(src) = 1 then
+        t.used_ports <- t.used_ports + 1;
+      if not t.reserved.(src).(dst) then
+        t.committed_in.(dst) <- t.committed_in.(dst) + 1
+    end;
+    t.values.(src).(dst) <- value :: t.values.(src).(dst);
+    t.total <- t.total + 1;
+    t.in_pres.(dst) <- t.in_pres.(dst) + 1
+  end
 
 let arcs t =
   let n = Pattern_graph.size t.pg in
@@ -97,11 +128,7 @@ let arcs t =
   done;
   !acc
 
-let copy_count t =
-  Array.fold_left
-    (fun acc row ->
-      Array.fold_left (fun acc vs -> acc + List.length vs) acc row)
-    0 t.values
+let copy_count t = t.total
 
 let max_arc_pressure t =
   Array.fold_left
@@ -109,8 +136,7 @@ let max_arc_pressure t =
       Array.fold_left (fun acc vs -> max acc (List.length vs)) acc row)
     0 t.values
 
-let in_pressure t id =
-  Array.fold_left (fun acc row -> acc + List.length row.(id)) 0 t.values
+let in_pressure t id = t.in_pres.(id)
 
 let out_pressure t id =
   let module S = Set.Make (Int) in

@@ -67,6 +67,14 @@ val copy_count : t -> int
 val used_in_ports : t -> Pattern_graph.node_id list
 (** Input ports with at least one outgoing copy. *)
 
+val used_in_ports_count : t -> int
+(** [List.length (used_in_ports t)] in O(1): the flow maintains its
+    aggregate counters incrementally so the cost function's per-move
+    queries never re-walk the copy matrix. *)
+
+val real_in_count : t -> Pattern_graph.node_id -> int
+(** [List.length (real_in_neighbors t id)] in O(1). *)
+
 val max_arc_pressure : t -> int
 (** Largest number of values on a single real arc — the copy-pressure
     term of the cluster MII. *)

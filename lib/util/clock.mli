@@ -1,0 +1,10 @@
+(** Wall-clock time for runtime reporting and deadlines.
+
+    [Sys.time] measures per-process CPU time, which advances [jobs]
+    times faster than real time once the domain pool is busy: a 10 s
+    SAT budget would silently shrink to 2.5 s at [jobs = 4].  Every
+    runtime figure and deadline in the code base goes through this
+    module instead. *)
+
+val now : unit -> float
+(** Seconds since the epoch, sub-millisecond resolution. *)

@@ -1,0 +1,130 @@
+type task = Run of (unit -> unit) | Quit
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  todo : task Queue.t;
+  wake : Condition.t;  (* a task was queued *)
+  settled : Condition.t;  (* a batch task completed *)
+  mutable workers : unit Domain.t list;
+  mutable live : bool;
+}
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.todo do
+    Condition.wait t.wake t.mutex
+  done;
+  let task = Queue.pop t.todo in
+  Mutex.unlock t.mutex;
+  match task with
+  | Quit -> ()
+  | Run f ->
+      f ();
+      worker_loop t
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      todo = Queue.create ();
+      wake = Condition.create ();
+      settled = Condition.create ();
+      workers = [];
+      live = true;
+    }
+  in
+  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let jobs t = t.jobs
+
+let shutdown t =
+  if t.live then begin
+    t.live <- false;
+    Mutex.lock t.mutex;
+    List.iter (fun _ -> Queue.push Quit t.todo) t.workers;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+let run (type b) (t : t) (thunks : (unit -> b) list) : b list =
+  match thunks with
+  | [] -> []
+  | [ f ] -> [ f () ]
+  | _ when t.workers = [] -> List.map (fun f -> f ()) thunks
+  | _ ->
+      let n = List.length thunks in
+      let results : b option array = Array.make n None in
+      (* Lowest-index failure wins, so a raised exception does not depend
+         on which worker finished first. *)
+      let error = ref None in
+      let pending = ref n in
+      let finish i outcome =
+        Mutex.lock t.mutex;
+        (match outcome with
+        | Ok v -> results.(i) <- Some v
+        | Error (e, bt) -> (
+            match !error with
+            | Some (j, _, _) when j < i -> ()
+            | _ -> error := Some (i, e, bt)));
+        decr pending;
+        if !pending = 0 then Condition.broadcast t.settled;
+        Mutex.unlock t.mutex
+      in
+      let task i f () =
+        match f () with
+        | v -> finish i (Ok v)
+        | exception e -> finish i (Error (e, Printexc.get_raw_backtrace ()))
+      in
+      Mutex.lock t.mutex;
+      List.iteri (fun i f -> Queue.push (Run (task i f)) t.todo) thunks;
+      Condition.broadcast t.wake;
+      (* The submitting domain helps drain the queue (its own batch or a
+         nested one) instead of idling, then sleeps until the last
+         straggler settles. *)
+      let rec drive () =
+        if !pending > 0 then
+          if not (Queue.is_empty t.todo) then begin
+            match Queue.pop t.todo with
+            | Quit ->
+                (* Shutdown raced a live batch: leave the poison pill for
+                   an actual worker. *)
+                Queue.push Quit t.todo;
+                Condition.wait t.settled t.mutex;
+                drive ()
+            | Run f ->
+                Mutex.unlock t.mutex;
+                f ();
+                Mutex.lock t.mutex;
+                drive ()
+          end
+          else begin
+            Condition.wait t.settled t.mutex;
+            drive ()
+          end
+      in
+      drive ();
+      Mutex.unlock t.mutex;
+      (match !error with
+      | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ());
+      Array.to_list (Array.map Option.get results)
+
+let map t f l = run t (List.map (fun x () -> f x) l)
+
+let with_pool ~jobs fn =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> fn t)
+
+let parallel_map ~jobs f l =
+  match l with
+  | [] -> []
+  | _ when jobs <= 1 -> List.map f l
+  | _ -> with_pool ~jobs:(min jobs (List.length l)) (fun t -> map t f l)

@@ -1,0 +1,44 @@
+(** Fixed-size OCaml 5 domain pool (stdlib [Mutex]/[Condition] only —
+    no domainslib dependency).
+
+    A pool of [jobs] execution lanes: [jobs - 1] spawned domains plus
+    the submitting domain, which helps drain the task queue instead of
+    blocking.  At [jobs = 1] no domain is ever spawned and every entry
+    point degrades to plain sequential [List.map], so sequential and
+    parallel runs share one code path and — because all the search code
+    is deterministic — produce bit-identical results: only the wall
+    clock changes.
+
+    Results always come back in submission order; an exception raised
+    by a task is re-raised in the submitter (lowest submission index
+    wins when several tasks fail, so failures are deterministic too). *)
+
+type t
+
+val create : jobs:int -> t
+(** Spawns [jobs - 1] worker domains ([jobs] is clamped to [>= 1]).
+    The pool must be {!shutdown} before the program exits. *)
+
+val jobs : t -> int
+
+val shutdown : t -> unit
+(** Joins every worker.  Idempotent.  Call only when no batch is in
+    flight. *)
+
+val run : t -> (unit -> 'a) list -> 'a list
+(** Executes the thunks on the pool and returns their results in input
+    order.  Nested [run] calls on the same pool are safe: the waiting
+    submitter executes queued tasks itself rather than deadlocking. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map t f l = run t (List.map (fun x () -> f x) l)]. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** Scoped pool: shutdown is guaranteed, also on exceptions. *)
+
+val parallel_map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** One-shot convenience: order-preserving map over a scoped pool,
+    sequential (and allocation-free of domains) when [jobs <= 1]. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], at least 1. *)

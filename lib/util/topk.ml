@@ -1,0 +1,32 @@
+let smallest ~k ~key l =
+  if k <= 0 then []
+  else
+    match l with
+    | [] -> []
+    | [ _ ] -> l
+    | x0 :: _ ->
+        (* Bounded insertion: [elems.(0..len-1)] holds the best
+           candidates so far, keys ascending, ties in input order. *)
+        let cap = k in
+        let elems = Array.make cap x0 in
+        let keys = Array.make cap infinity in
+        let len = ref 0 in
+        List.iter
+          (fun x ->
+            let kx = key x in
+            if !len < cap || kx < keys.(!len - 1) then begin
+              let stop = if !len < cap then !len else cap - 1 in
+              (* Shift the strictly-greater tail right; an equal key
+                 stays left of the newcomer (stability). *)
+              let i = ref stop in
+              while !i > 0 && keys.(!i - 1) > kx do
+                keys.(!i) <- keys.(!i - 1);
+                elems.(!i) <- elems.(!i - 1);
+                decr i
+              done;
+              keys.(!i) <- kx;
+              elems.(!i) <- x;
+              if !len < cap then incr len
+            end)
+          l;
+        Array.to_list (Array.sub elems 0 !len)

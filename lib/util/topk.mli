@@ -1,0 +1,15 @@
+(** Stable top-k selection.
+
+    The SEE used to materialise each frontier with a full
+    [List.sort] only to keep its first [beam_width] elements;
+    selection does the same in O(n·k) with a k-slot insertion buffer
+    and no intermediate lists. *)
+
+val smallest : k:int -> key:('a -> float) -> 'a list -> 'a list
+(** The [k] elements of the list with the smallest keys, ascending, ties
+    resolved towards earlier input positions — element for element the
+    same list as
+    [List.filteri (fun i _ -> i < k)
+       (List.sort (fun a b -> compare (key a) (key b)) l)],
+    which is what the SEE's beam and candidate cuts previously
+    computed. *)
