@@ -98,6 +98,9 @@ let table1 () =
             ("unified_mii", jint optimum);
             ("copies", jint r.Report.copies);
             ("runtime_s", jfloat r.Report.runtime_s);
+            ("cache_hits", jint r.Report.cache_hits);
+            ("cache_misses", jint r.Report.cache_misses);
+            ("reused_subproblems", jint r.Report.reused_subproblems);
           ]
       else
         Hca_util.Tabular.add_row t
@@ -188,6 +191,9 @@ let fig_scaling () =
             ("copies", jint hca.Report.copies);
             ("runtime_s", jfloat hca.Report.runtime_s);
             ("hca_states", jint hca.Report.explored_states);
+            ("cache_hits", jint hca.Report.cache_hits);
+            ("cache_misses", jint hca.Report.cache_misses);
+            ("reused_subproblems", jint hca.Report.reused_subproblems);
             ("flat_states", jint flat.Hca_baseline.Flat_ica.explored);
             ("flat_runtime_s", jfloat flat.Hca_baseline.Flat_ica.runtime_s);
             ("flat_mux_violations", jopt_int violations);
@@ -449,6 +455,7 @@ let optgap () =
             ("n_instr", jint n);
             ("hca_final_mii", jopt_int hca.Report.final_mii);
             ("hca_legal", jbool hca.Report.legal);
+            ("hca_cache_hits", jint hca.Report.cache_hits);
             ("status", jstr (Hca_exact.Oracle.status_to_string oracle.Hca_exact.Oracle.status));
             ("final_mii", jopt_int oracle.Hca_exact.Oracle.final_mii);
             ("lower_bound", jint oracle.Hca_exact.Oracle.lower_bound);
@@ -776,6 +783,9 @@ let extended () =
             ("final_mii", jopt_int r.Report.final_mii);
             ("copies", jint r.Report.copies);
             ("runtime_s", jfloat r.Report.runtime_s);
+            ("cache_hits", jint r.Report.cache_hits);
+            ("cache_misses", jint r.Report.cache_misses);
+            ("reused_subproblems", jint r.Report.reused_subproblems);
             ("wires", jopt_int wires);
           ]
       else

@@ -1,0 +1,162 @@
+(* bench_guard: quality-regression gate over bench NDJSON output.
+
+   Usage: bench_guard BASELINE.json CURRENT.json
+
+   Both files hold newline-delimited JSON records as emitted by
+   [bench/main.exe --json].  For every (experiment, kernel) row present
+   in BOTH files, the quality fields — "final_mii", "legal", "copies",
+   and "wires" when present — must match exactly; runtimes and counters
+   may drift, quality may not.  Rows only one side has (new kernels,
+   new experiments) are reported but do not fail the gate, so the
+   baseline does not need to grow in lockstep with the suite.  The
+   "optgap" experiment is skipped: its oracle columns depend on a
+   wall-clock SAT budget, so they are not stable across machines.
+
+   Exit status: 0 clean, 1 on any quality regression, 2 on usage or
+   parse errors.
+
+   The parser below handles exactly the flat one-line objects
+   [emit_json] produces (string keys, unnested scalar values) — not
+   general JSON.  Keeping it hand-rolled avoids a JSON dependency in
+   the repo's install footprint. *)
+
+let quality_fields = [ "final_mii"; "legal"; "copies"; "wires" ]
+
+let skipped_experiments = [ "optgap" ]
+
+(* "key":value scanner over one emit_json line.  Values are scalars
+   (number / bool / null) or %S-escaped strings; a string value is
+   returned with its quotes so comparisons stay exact. *)
+let fields_of_line line =
+  let n = String.length line in
+  let fields = ref [] in
+  let i = ref 0 in
+  let fail msg = failwith (Printf.sprintf "%s in %s" msg line) in
+  let scan_string () =
+    (* [!i] is at the opening quote; returns the contents, leaves [!i]
+       past the closing quote. *)
+    let b = Buffer.create 16 in
+    incr i;
+    let rec go () =
+      if !i >= n then fail "unterminated string"
+      else
+        match line.[!i] with
+        | '"' -> incr i
+        | '\\' when !i + 1 < n ->
+            Buffer.add_char b line.[!i];
+            Buffer.add_char b line.[!i + 1];
+            i := !i + 2;
+            go ()
+        | c ->
+            Buffer.add_char b c;
+            incr i;
+            go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  while !i < n do
+    match line.[!i] with
+    | '"' ->
+        let key = scan_string () in
+        if !i >= n || line.[!i] <> ':' then fail "expected ':' after key";
+        incr i;
+        let value =
+          if !i < n && line.[!i] = '"' then "\"" ^ scan_string () ^ "\""
+          else begin
+            let start = !i in
+            while
+              !i < n && (match line.[!i] with ',' | '}' -> false | _ -> true)
+            do
+              incr i
+            done;
+            String.sub line start (!i - start)
+          end
+        in
+        fields := (key, value) :: !fields
+    | _ -> incr i
+  done;
+  List.rev !fields
+
+let load path =
+  let ic = open_in path in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" then begin
+         let fields = fields_of_line line in
+         match
+           (List.assoc_opt "experiment" fields, List.assoc_opt "kernel" fields)
+         with
+         | Some e, Some k -> rows := ((e, k), fields) :: !rows
+         | _ -> failwith ("row without experiment/kernel: " ^ line)
+       end
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !rows
+
+let () =
+  match Sys.argv with
+  | [| _; baseline_path; current_path |] -> (
+      match (load baseline_path, load current_path) with
+      | exception Failure msg ->
+          Printf.eprintf "bench_guard: %s\n" msg;
+          exit 2
+      | exception Sys_error msg ->
+          Printf.eprintf "bench_guard: %s\n" msg;
+          exit 2
+      | baseline, current ->
+          let regressions = ref 0 and compared = ref 0 in
+          List.iter
+            (fun ((exp, kernel), cur_fields) ->
+              let exp_name =
+                (* experiment/kernel values carry their quotes *)
+                if String.length exp >= 2 then
+                  String.sub exp 1 (String.length exp - 2)
+                else exp
+              in
+              match List.assoc_opt (exp, kernel) baseline with
+              | _ when List.mem exp_name skipped_experiments -> ()
+              | None ->
+                  Printf.printf "  new row %s/%s (not in baseline, ok)\n" exp
+                    kernel
+              | Some base_fields ->
+                  incr compared;
+                  List.iter
+                    (fun f ->
+                      match
+                        ( List.assoc_opt f base_fields,
+                          List.assoc_opt f cur_fields )
+                      with
+                      | Some b, Some c when b <> c ->
+                          incr regressions;
+                          Printf.printf
+                            "REGRESSION %s/%s: %s was %s, now %s\n" exp kernel
+                            f b c
+                      | Some _, None ->
+                          incr regressions;
+                          Printf.printf "REGRESSION %s/%s: %s disappeared\n"
+                            exp kernel f
+                      | None, _ -> ()
+                      | Some _, Some _ -> ())
+                    quality_fields)
+            current;
+          List.iter
+            (fun ((exp, kernel), _) ->
+              if not (List.mem_assoc (exp, kernel) current) then
+                Printf.printf "  baseline row %s/%s missing from current run\n"
+                  exp kernel)
+            baseline;
+          if !regressions > 0 then begin
+            Printf.printf "bench_guard: %d quality regression(s) over %d rows\n"
+              !regressions !compared;
+            exit 1
+          end
+          else
+            Printf.printf "bench_guard: %d rows compared, quality unchanged\n"
+              !compared)
+  | _ ->
+      prerr_endline "usage: bench_guard BASELINE.json CURRENT.json";
+      exit 2

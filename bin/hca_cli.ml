@@ -109,12 +109,21 @@ let stats_cmd =
     Term.(const run $ kernel_arg $ fabric_term)
 
 let run_cmd =
-  let run (name, f) fabric config jobs ii =
+  let run (name, f) fabric config jobs no_memo stats ii =
     ignore name;
     match ii with
     | None ->
-        let report = Report.run ~config ~jobs fabric (f ()) in
-        Format.printf "%a@." Report.pp report
+        let report =
+          Report.run ~config ~jobs ~memo:(not no_memo) fabric (f ())
+        in
+        Format.printf "%a@." Report.pp report;
+        if stats then
+          Format.printf
+            "search stats: explored=%d routed=%d memo hits=%d misses=%d \
+             reused subproblems=%d@."
+            report.Report.explored_states report.Report.routed_moves
+            report.Report.cache_hits report.Report.cache_misses
+            report.Report.reused_subproblems
     | Some ii -> (
         (* Debug mode: a single HCA pass at a fixed II. *)
         let ddg = f () in
@@ -131,8 +140,26 @@ let run_cmd =
       value & opt (some int) None
       & info [ "ii" ] ~docv:"II" ~doc:"Single fixed II (debug).")
   in
+  let no_memo =
+    Arg.(
+      value & flag
+      & info [ "no-memo" ]
+          ~doc:
+            "Disable the cross-probe subproblem memo cache.  Every field \
+             except the runtime is identical with or without it.")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print a search-statistics line (explored states, routed moves, \
+             memo hits/misses, reused subproblems).")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Run HCA on one kernel")
-    Term.(const run $ kernel_arg $ fabric_term $ config_term $ jobs_term $ ii_arg)
+    Term.(
+      const run $ kernel_arg $ fabric_term $ config_term $ jobs_term $ no_memo
+      $ stats $ ii_arg)
 
 let table1_cmd =
   let run fabric config =

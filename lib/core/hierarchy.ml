@@ -25,6 +25,81 @@ type t = {
 
 let ( let* ) = Result.bind
 
+(* {1 Cross-probe subproblem memoization}
+
+   A subproblem's result is a pure function of its identity: the level
+   and path fix the PG shape, the working set and ILI fix the problem
+   instance, and the capacity window / target II / configuration fix the
+   search.  The driver re-solves identical subproblems whenever
+   inter-level backtracking walks the beam alternatives of a parent:
+   sibling subtrees whose (working set, ILI) did not change between two
+   alternatives are recomputed verbatim.  The cache short-circuits those
+   recomputations.
+
+   Bit-identity: a hit returns the very result the miss computed, and
+   replays the explored/routed deltas the original computation charged,
+   so every aggregate of a memoised run equals the memo-off run. *)
+
+type stats = {
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable reused_subproblems : int;
+}
+
+let create_stats () =
+  { cache_hits = 0; cache_misses = 0; reused_subproblems = 0 }
+
+type key = {
+  k_kernel : string;
+  k_machine : string;
+  k_level : int;
+  k_path : int list;
+  k_ws : int list;
+  k_ili : Ili.t;
+  k_ii : int;
+  k_target_ii : int;
+  k_config : Config.t;
+      (* the configuration verbatim, not a fingerprint: lookups compare
+         structurally, so distinct configurations can never collide *)
+}
+
+type entry = {
+  e_res : (subresult, string) result;
+  e_explored : int;  (* explored-states delta the computation charged *)
+  e_routed : int;
+  e_subproblems : int;  (* subtree size, 1 for a failed subproblem *)
+}
+
+(* Lock-striped so concurrent II probes ([Report.run ~jobs]) can share
+   one cache: keys embed the II, so probes never race on the same key —
+   the stripes only serialise physical table access. *)
+type cache = (Mutex.t * (key, entry) Hashtbl.t) array
+
+let stripes = 16
+
+let create_cache () =
+  Array.init stripes (fun _ -> (Mutex.create (), Hashtbl.create 64))
+
+let stripe_of (cache : cache) key = cache.(Hashtbl.hash key land (stripes - 1))
+
+let cache_find cache key =
+  let m, tbl = stripe_of cache key in
+  Mutex.lock m;
+  let r = Hashtbl.find_opt tbl key in
+  Mutex.unlock m;
+  r
+
+let cache_store cache key entry =
+  let m, tbl = stripe_of cache key in
+  Mutex.lock m;
+  if not (Hashtbl.mem tbl key) then Hashtbl.replace tbl key entry;
+  Mutex.unlock m
+
+let rec count_subresults sub =
+  Array.fold_left
+    (fun acc c -> match c with None -> acc | Some s -> acc + count_subresults s)
+    1 sub.children
+
 let path_name path =
   match path with
   | [] -> "0"
@@ -48,10 +123,54 @@ let take n l =
   in
   go n l
 
-let solve ?(config = Config.default) ?target_ii fabric ddg ~ii =
+let solve ?(config = Config.default) ?target_ii ?cache ?stats fabric ddg ~ii =
   let target_ii = Option.value ~default:ii target_ii in
   let explored = ref 0 and routed = ref 0 in
   let rec solve_sub ~level ~path ~ws ~ili =
+    match cache with
+    | None -> compute_sub ~level ~path ~ws ~ili
+    | Some cache -> (
+        let key =
+          {
+            k_kernel = Ddg.name ddg;
+            k_machine = Dspfabric.name fabric;
+            k_level = level;
+            k_path = path;
+            k_ws = ws;
+            k_ili = ili;
+            k_ii = ii;
+            k_target_ii = target_ii;
+            k_config = config;
+          }
+        in
+        match cache_find cache key with
+        | Some e ->
+            (match stats with
+            | Some s ->
+                s.cache_hits <- s.cache_hits + 1;
+                s.reused_subproblems <- s.reused_subproblems + e.e_subproblems
+            | None -> ());
+            explored := !explored + e.e_explored;
+            routed := !routed + e.e_routed;
+            e.e_res
+        | None ->
+            (match stats with
+            | Some s -> s.cache_misses <- s.cache_misses + 1
+            | None -> ());
+            let x0 = !explored and r0 = !routed in
+            let res = compute_sub ~level ~path ~ws ~ili in
+            let e_subproblems =
+              match res with Ok sub -> count_subresults sub | Error _ -> 1
+            in
+            cache_store cache key
+              {
+                e_res = res;
+                e_explored = !explored - x0;
+                e_routed = !routed - r0;
+                e_subproblems;
+              };
+            res)
+  and compute_sub ~level ~path ~ws ~ili =
     let view = Dspfabric.level_view fabric ~level in
     let name = path_name path in
     (* Every wire into a child burns one of the child's own input

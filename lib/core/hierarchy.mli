@@ -38,16 +38,50 @@ type t = {
   routed : int;  (** SEE moves that needed the Route Allocator *)
 }
 
+(** {1 Cross-probe subproblem memoization}
+
+    A subproblem's result is a pure function of (kernel, machine,
+    level, path, working set, ILI, II window, target II,
+    configuration).  Inter-level backtracking re-solves sibling
+    subtrees whose inputs did not change between two beam alternatives
+    of their parent; a shared cache short-circuits those
+    recomputations.  A hit returns the very result the miss computed
+    and replays its explored/routed deltas, so a memoised run is
+    bit-identical to a memo-off run (property tested).  The cache is
+    lock-striped: keys embed the II, so the concurrent II probes of
+    [Report.run ~jobs] never contend on the same key. *)
+
+type stats = {
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable reused_subproblems : int;
+      (** subproblems short-circuited transitively: a hit on a subtree
+          of [n] solved subproblems counts [n] *)
+}
+
+val create_stats : unit -> stats
+
+type cache
+
+val create_cache : unit -> cache
+(** Safe to share across domains and II probes of the same kernel and
+    machine (the key embeds both, so wider sharing is merely
+    pointless, not wrong). *)
+
 val solve :
   ?config:Config.t ->
   ?target_ii:int ->
+  ?cache:cache ->
+  ?stats:stats ->
   Dspfabric.t ->
   Ddg.t ->
   ii:int ->
   (t, string) result
 (** One full HCA pass with capacity window [ii] (cost functions aim at
     [target_ii], default [ii]).  Fails with the path and node of the
-    first subproblem that admits no legal clusterisation. *)
+    first subproblem that admits no legal clusterisation.  [cache]
+    memoises subproblem solutions across calls; [stats] accumulates the
+    hit/miss counters of this call. *)
 
 val subresults : t -> subresult list
 (** Pre-order walk of the problem tree. *)

@@ -32,15 +32,17 @@ let better (a : Report.t) (b : Report.t) =
       | Some _, None -> true
       | None, _ -> false)
 
-let run_all ?(jobs = 1) ?(configs = default_configs) fabric ddg =
+let run_all ?(jobs = 1) ?memo ?(configs = default_configs) fabric ddg =
   match configs with
   | [] -> invalid_arg "Portfolio.run: empty configuration list"
   | _ ->
       (* The configurations are fully independent searches, so they
          fan out onto the domain pool; the result list keeps the
-         configuration order, so every fold over it is deterministic. *)
+         configuration order, so every fold over it is deterministic.
+         Each run owns its subproblem memo — the configuration is part
+         of the memo key, so sharing across runs would never hit. *)
       Hca_util.Domain_pool.parallel_map ~jobs
-        (fun (name, config) -> (name, Report.run ~config fabric ddg))
+        (fun (name, config) -> (name, Report.run ~config ?memo fabric ddg))
         configs
 
 let best_of = function
@@ -51,5 +53,5 @@ let best_of = function
           if better r best then (r, name) else (best, best_name))
         (first, name0) rest
 
-let run ?jobs ?configs fabric ddg =
-  best_of (run_all ?jobs ?configs fabric ddg)
+let run ?jobs ?memo ?configs fabric ddg =
+  best_of (run_all ?jobs ?memo ?configs fabric ddg)

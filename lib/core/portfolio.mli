@@ -15,6 +15,7 @@ val default_configs : (string * Config.t) list
 
 val run_all :
   ?jobs:int ->
+  ?memo:bool ->
   ?configs:(string * Config.t) list ->
   Dspfabric.t ->
   Ddg.t ->
@@ -23,7 +24,7 @@ val run_all :
     configurations are independent, so [jobs > 1] evaluates them
     concurrently on a {!Hca_util.Domain_pool}; the returned list is
     merged back in configuration order, so the output is identical at
-    every [jobs].
+    every [jobs].  [memo] is forwarded to every {!Report.run}.
     @raise Invalid_argument on an empty configuration list. *)
 
 val best_of : (string * Report.t) list -> Report.t * string
@@ -36,6 +37,7 @@ val best_of : (string * Report.t) list -> Report.t * string
 
 val run :
   ?jobs:int ->
+  ?memo:bool ->
   ?configs:(string * Config.t) list ->
   Dspfabric.t ->
   Ddg.t ->

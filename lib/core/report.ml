@@ -16,6 +16,9 @@ type t = {
   max_wire_load : int;
   explored_states : int;
   routed_moves : int;
+  cache_hits : int;
+  cache_misses : int;
+  reused_subproblems : int;
   runtime_s : float;
   error : string option;
   result : Hierarchy.t option;
@@ -39,24 +42,37 @@ let base_row ~kernel ~machine ddg fabric_resources =
     max_wire_load = 0;
     explored_states = 0;
     routed_moves = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    reused_subproblems = 0;
     runtime_s = 0.0;
     error = None;
     result = None;
   }
 
-let run ?(config = Config.default) ?(jobs = 1) fabric ddg =
+let run ?(config = Config.default) ?(jobs = 1) ?(memo = true) fabric ddg =
   let t0 = Hca_util.Clock.now () in
   let base =
     base_row ~kernel:(Ddg.name ddg) ~machine:(Dspfabric.name fabric) ddg
       (Dspfabric.resources fabric)
   in
+  (* One subproblem memo per run: II probes of the same kernel share
+     it (the cache is domain-safe and its keys embed the II). *)
+  let hcache = if memo then Some (Hierarchy.create_cache ()) else None in
   let attempt ii =
-    match Hierarchy.solve ~config ~target_ii:base.ini_mii fabric ddg ~ii with
-    | Error e -> Error e
-    | Ok res ->
-        let metrics = Metrics.of_result res in
-        let legal = Coherency.is_legal res in
-        Ok (res, metrics, legal)
+    let stats = Hierarchy.create_stats () in
+    let r =
+      match
+        Hierarchy.solve ~config ~target_ii:base.ini_mii ?cache:hcache ~stats
+          fabric ddg ~ii
+      with
+      | Error e -> Error e
+      | Ok res ->
+          let metrics = Metrics.of_result res in
+          let legal = Coherency.is_legal res in
+          Ok (res, metrics, legal)
+    in
+    (r, stats)
   in
   (* Climb to the first feasible II, then give the SEE [ii_patience]
      more values of slack and keep the best legal outcome. *)
@@ -72,18 +88,35 @@ let run ?(config = Config.default) ?(jobs = 1) fabric ddg =
   let cache = Hashtbl.create 16 in
   let eval ii =
     match Hashtbl.find_opt cache ii with
-    | Some r -> r
+    | Some (r, _) -> r
     | None ->
-        let r = attempt ii in
-        Hashtbl.replace cache ii r;
+        let r, stats = attempt ii in
+        Hashtbl.replace cache ii (r, stats);
         r
   in
+  (* Memo counters of the attempts the sequential walk would have
+     made — speculative probes past that set are excluded, so the
+     figures match at any [jobs] (each attempt's counters only depend
+     on its own II: the memo keys embed the II, so attempts never see
+     each other's entries). *)
+  let sum_stats iis =
+    List.fold_left
+      (fun (h, m, r) ii ->
+        match Hashtbl.find_opt cache ii with
+        | Some (_, s) ->
+            ( h + s.Hierarchy.cache_hits,
+              m + s.Hierarchy.cache_misses,
+              r + s.Hierarchy.reused_subproblems )
+        | None -> (h, m, r))
+      (0, 0, 0) iis
+  in
+  let range lo hi = List.init (max 0 (hi - lo + 1)) (fun i -> lo + i) in
   let eval_batch iis =
     match List.filter (fun ii -> not (Hashtbl.mem cache ii)) iis with
     | [] -> ()
     | fresh ->
         List.iter
-          (fun (ii, r) -> Hashtbl.replace cache ii r)
+          (fun (ii, rs) -> Hashtbl.replace cache ii rs)
           (Hca_util.Domain_pool.parallel_map ~jobs
              (fun ii -> (ii, attempt ii))
              fresh)
@@ -101,7 +134,17 @@ let run ?(config = Config.default) ?(jobs = 1) fabric ddg =
   let first, error = climb base.ini_mii None in
   match first with
   | None ->
-      { base with error; runtime_s = Hca_util.Clock.now () -. t0 }
+      let cache_hits, cache_misses, reused_subproblems =
+        sum_stats (range base.ini_mii ii_limit)
+      in
+      {
+        base with
+        error;
+        cache_hits;
+        cache_misses;
+        reused_subproblems;
+        runtime_s = Hca_util.Clock.now () -. t0;
+      }
   | Some (ii0, first_ok) ->
       let better_than (_, m1, l1) (_, m2, l2) =
         match (l1, l2) with
@@ -134,6 +177,9 @@ let run ?(config = Config.default) ?(jobs = 1) fabric ddg =
           | Error _ -> ())
         patience_iis;
       let ii_used, (res, metrics, legal) = !best in
+      let cache_hits, cache_misses, reused_subproblems =
+        sum_stats (range base.ini_mii ii0 @ patience_iis)
+      in
       {
         base with
         legal;
@@ -144,6 +190,9 @@ let run ?(config = Config.default) ?(jobs = 1) fabric ddg =
         max_wire_load = metrics.Metrics.max_wire_load;
         explored_states = !explored;
         routed_moves = !routed;
+        cache_hits;
+        cache_misses;
+        reused_subproblems;
         runtime_s = Hca_util.Clock.now () -. t0;
         error = (if legal then None else Some "coherency check failed");
         result = Some res;
@@ -173,11 +222,14 @@ let pp ppf t =
   Format.fprintf ppf
     "@[<v>%s on %s: %d instrs, MIIRec=%d MIIRes=%d ini=%d -> %s (II target \
      %d, legal=%b)@,\
-     copies=%d forwards=%d wire<=%d explored=%d routed=%d in %.3fs%s@]"
+     copies=%d forwards=%d wire<=%d explored=%d routed=%d memo=%d/%d \
+     (reused %d) in %.3fs%s@]"
     t.kernel t.machine t.n_instr t.mii_rec t.mii_res t.ini_mii
     (match t.final_mii with
     | Some m -> "final MII " ^ string_of_int m
     | None -> "FAILED")
     t.ii_used t.legal t.copies t.forwards t.max_wire_load t.explored_states
-    t.routed_moves t.runtime_s
+    t.routed_moves t.cache_hits
+    (t.cache_hits + t.cache_misses)
+    t.reused_subproblems t.runtime_s
     (match t.error with None -> "" | Some e -> " error: " ^ e)

@@ -27,18 +27,32 @@ type t = {
   max_wire_load : int;
   explored_states : int;
   routed_moves : int;
+  cache_hits : int;
+      (** subproblem memo hits across the attempts of the sequential
+          climb + patience walk (speculative probes excluded, so the
+          figure is identical at every [jobs]) *)
+  cache_misses : int;
+  reused_subproblems : int;
+      (** subproblems short-circuited transitively by the hits *)
   runtime_s : float;  (** wall-clock seconds spent in the whole search *)
   error : string option;
   result : Hierarchy.t option;  (** the winning assignment, for inspection *)
 }
 
-val run : ?config:Config.t -> ?jobs:int -> Dspfabric.t -> Ddg.t -> t
+val run :
+  ?config:Config.t -> ?jobs:int -> ?memo:bool -> Dspfabric.t -> Ddg.t -> t
 (** [jobs] (default 1) sizes the domain pool used to probe candidate
     IIs.  The climb evaluates [jobs] consecutive IIs speculatively per
     round and still commits to the lowest feasible one; the probes past
     it are reused as the patience attempts.  Results — including the
     [explored_states]/[routed_moves] totals — are identical at every
-    [jobs]; only the wall clock changes. *)
+    [jobs]; only the wall clock changes.
+
+    [memo] (default [true]) shares one {!Hierarchy.cache} across the II
+    attempts, short-circuiting subproblems that inter-level
+    backtracking would re-solve verbatim.  Every field except
+    [runtime_s] is bit-identical with the memo on or off (property
+    tested). *)
 
 val failure_row : kernel:string -> machine:string -> Ddg.t -> string -> t
 (** A row for a kernel that could not be clusterised, with the static

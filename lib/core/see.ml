@@ -57,6 +57,20 @@ let candidate_clusters problem =
   Hca_machine.Pattern_graph.regular_nodes (Problem.pg problem)
   |> List.map (fun (nd : Hca_machine.Pattern_graph.node) -> nd.id)
 
+(* A scored child of the frontier.  [Spec] is a move that was applied
+   to the parent's trail, scored, and undone — it holds no clone, only
+   the recipe to replay it.  [Mat] is a state the Route Allocator
+   already had to build (its detours have no trail twin). *)
+type cand =
+  | Spec of {
+      parent : State.t;
+      cluster : Hca_machine.Pattern_graph.node_id;
+      cost : float;
+    }
+  | Mat of State.t
+
+let cand_cost = function Spec { cost; _ } -> cost | Mat st -> State.cost st
+
 let solve ?(config = Config.default) ?target_ii ?(backbone = []) problem ~ii =
   let target_ii = Option.value ~default:ii target_ii in
   let weights = config.Config.weights in
@@ -81,22 +95,29 @@ let solve ?(config = Config.default) ?target_ii ?(backbone = []) problem ~ii =
   in
   let clusters = candidate_clusters problem in
   let explored = ref 1 and routed = ref 0 in
+  (* A child of the current frontier, either still speculative (the
+     move was scored on the parent's trail and undone — no clone paid
+     yet) or already materialised (the Route Allocator's fallback has
+     no trail twin, so it clones as before). *)
+  let penalise ~tail_of_region st c =
+    let deficit = tail_of_region - 1 - State.free_issue_slots st ~cluster:c ~ii in
+    if deficit > 0 then
+      State.add_penalty st (weights.Cost.w_tear *. float_of_int deficit)
+  in
   let expand ~tail_of_region node state =
-    let penalise st c =
-      let deficit =
-        tail_of_region - 1 - State.free_issue_slots st ~cluster:c ~ii
-      in
-      if deficit > 0 then
-        State.add_penalty st (weights.Cost.w_tear *. float_of_int deficit)
-    in
     let candidates =
       List.filter_map
         (fun c ->
-          match State.try_assign state ~node ~cluster:c ~ii ~target_ii ~weights with
-          | Ok st ->
+          match
+            State.speculate_assign state ~node ~cluster:c ~ii ~target_ii
+              ~weights
+          with
+          | Ok () ->
               incr explored;
-              penalise st c;
-              Some st
+              penalise ~tail_of_region state c;
+              let cost = State.cost state in
+              State.undo_speculation state;
+              Some (Spec { parent = state; cluster = c; cost })
           | Error _ -> None)
         clusters
     in
@@ -114,15 +135,56 @@ let solve ?(config = Config.default) ?target_ii ?(backbone = []) problem ~ii =
             | Ok st ->
                 incr explored;
                 incr routed;
-                Some st
+                Some (Mat st)
             | Error _ -> None)
           clusters
     | [] -> []
   in
+  (* Clones are paid here, for beam survivors only: replaying the move
+     through the retained clone-based [try_assign] reproduces the
+     speculative score bit for bit. *)
+  let materialise ~tail_of_region node = function
+    | Mat st -> st
+    | Spec { parent; cluster; cost } -> (
+        match
+          State.try_assign parent ~node ~cluster ~ii ~target_ii ~weights
+        with
+        | Ok st ->
+            penalise ~tail_of_region st cluster;
+            assert (State.cost st = cost);
+            st
+        | Error _ -> assert false (* the speculation succeeded *))
+  in
   let by_cost a b = compare (State.cost a) (State.cost b) in
   (* Frontier cuts: stable top-k selection instead of sorting whole
-     child lists only to drop everything past the beam. *)
-  let best_k k states = Hca_util.Topk.smallest ~k ~key:State.cost states in
+     child lists only to drop everything past the beam.  Both cuts now
+     rank candidates, not clones: the cost was computed on the trail,
+     so losing candidates never pay an allocation. *)
+  let best_k_cand k cands = Hca_util.Topk.smallest ~k ~key:cand_cost cands in
+  (* Transposition dedup: the beam never carries two identical states.
+     Duplicates must agree on the (bit-exact) cost, so only tied
+     entries ever pay the signature + structural comparison. *)
+  let dedup states =
+    match states with
+    | [] | [ _ ] -> states
+    | _ ->
+        let tagged =
+          List.map (fun st -> (st, lazy (State.signature st))) states
+        in
+        let keep (st, s) kept =
+          not
+            (List.exists
+               (fun (prev, ps) ->
+                 State.cost prev = State.cost st
+                 && Lazy.force ps = Lazy.force s
+                 && State.equal prev st)
+               kept)
+        in
+        List.rev_map fst
+          (List.fold_left
+             (fun kept x -> if keep x kept then x :: kept else kept)
+             [] tagged)
+  in
   let rec loop pos frontier = function
     | [] -> (
         match List.sort by_cost frontier with
@@ -140,7 +202,7 @@ let solve ?(config = Config.default) ?target_ii ?(backbone = []) problem ~ii =
         let children =
           List.concat_map
             (fun st ->
-              best_k config.Config.candidate_width
+              best_k_cand config.Config.candidate_width
                 (expand ~tail_of_region node st))
             frontier
         in
@@ -190,7 +252,10 @@ let solve ?(config = Config.default) ?target_ii ?(backbone = []) problem ~ii =
                  (Hca_machine.Pattern_graph.max_in pg)
                  diagnosis)
         | _ ->
-            let frontier' = best_k config.Config.beam_width children in
+            let winners = best_k_cand config.Config.beam_width children in
+            let frontier' =
+              dedup (List.map (materialise ~tail_of_region node) winners)
+            in
             loop (pos + 1) frontier' rest)
   in
   loop 0 [ State.create ~backbone problem ] order

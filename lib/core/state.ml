@@ -20,6 +20,28 @@ type t = {
   node_proj : int array;
   node_fanin : float array;
   mutable cache_ii : int;
+  mutable spec : spec option;  (* in-flight speculative move, if any *)
+}
+
+(* Undo record of one speculative [try_assign]: everything the move
+   mutated, with enough history to restore the state bit for bit. *)
+and spec = {
+  sp_node : int;
+  sp_cluster : int;
+  sp_members : int list;
+  sp_dem : Hca_machine.Resource.t;
+  sp_carried : int;
+  sp_cost_v : float;
+  sp_extra : float;
+  sp_cache_ii : int;
+  sp_fmark : Copy_flow.mark;
+  (* Per-cluster contribution snapshots taken just before each
+     [refresh_node], newest first, so replaying them in list order
+     ends on the oldest (pre-move) values even when a cluster was
+     refreshed twice. *)
+  mutable sp_nodes : (int * float * int * float) list;
+  (* Full-array snapshot when the move had to [refresh_all]. *)
+  mutable sp_full : (float array * int array * float array) option;
 }
 
 let create ?(backbone = []) problem =
@@ -56,11 +78,13 @@ let create ?(backbone = []) problem =
     node_proj = Array.make pg_n 1;
     node_fanin = Array.make pg_n 0.0;
     cache_ii = -1;
+    spec = None;
   }
 
 let problem t = t.problem
 
 let clone t =
+  if t.spec <> None then invalid_arg "State.clone: speculation in flight";
   {
     t with
     place = Array.copy t.place;
@@ -245,6 +269,142 @@ let try_assign t ~node ~cluster ~ii ~target_ii ~weights =
       with Blocked m -> Error m
     end
 
+(* Trail-based twin of {!try_assign}: the same move, the same checks,
+   the same arithmetic — applied to [t] itself under an undo trail
+   instead of to a clone.  The SEE probes every candidate this way and
+   only materialises a real clone (via the retained {!try_assign}) for
+   the few survivors of the beam cut. *)
+let speculate_assign t ~node ~cluster ~ii ~target_ii ~weights =
+  if t.spec <> None then invalid_arg "State.speculate_assign: already in flight";
+  let nd = Problem.node t.problem node in
+  if t.place.(node) >= 0 then Error "node already assigned"
+  else if not (Pattern_graph.is_regular (Problem.pg t.problem) cluster) then
+    Error "target is not a regular cluster"
+  else
+    let capacity = (Pattern_graph.node (Problem.pg t.problem) cluster).capacity in
+    let demand' = Resource.add t.dem.(cluster) nd.demand in
+    if not (Resource.fits ~demand:demand' ~capacity ~ii) then
+      Error "resource table exhausted under target II"
+    else begin
+      let sp =
+        {
+          sp_node = node;
+          sp_cluster = cluster;
+          sp_members = t.members.(cluster);
+          sp_dem = t.dem.(cluster);
+          sp_carried = t.carried_cuts;
+          sp_cost_v = t.cost_v;
+          sp_extra = t.extra_cost;
+          sp_cache_ii = t.cache_ii;
+          sp_fmark = Copy_flow.push_mark t.flow;
+          sp_nodes = [];
+          sp_full = None;
+        }
+      in
+      let rollback () =
+        t.place.(node) <- -1;
+        t.members.(cluster) <- sp.sp_members;
+        t.dem.(cluster) <- sp.sp_dem;
+        t.assigned <- t.assigned - 1;
+        t.carried_cuts <- sp.sp_carried;
+        Copy_flow.undo_to_mark t.flow sp.sp_fmark
+      in
+      t.place.(node) <- cluster;
+      t.members.(cluster) <- insert_sorted node t.members.(cluster);
+      t.dem.(cluster) <- demand';
+      t.assigned <- t.assigned + 1;
+      let touched = ref [ cluster ] in
+      let route ~src ~dst ~carried value =
+        if src = dst then Ok ()
+        else if Copy_flow.can_add t.flow ~src ~dst then begin
+          Copy_flow.add_copy t.flow ~src ~dst value;
+          touched := dst :: !touched;
+          if carried then t.carried_cuts <- t.carried_cuts + 1;
+          Ok ()
+        end
+        else Error (Printf.sprintf "no communication pattern %d->%d" src dst)
+      in
+      let exception Blocked of string in
+      try
+        List.iter
+          (fun (e : Problem.edge) ->
+            let s = t.place.(e.src) in
+            if s >= 0 then
+              match
+                route ~src:s ~dst:cluster
+                  ~carried:(e.distance > 0 || same_circuit t e.src e.dst)
+                  e.value
+              with
+              | Ok () -> ()
+              | Error m -> raise (Blocked m))
+          (Problem.preds t.problem node);
+        List.iter
+          (fun (e : Problem.edge) ->
+            let d = t.place.(e.dst) in
+            if d >= 0 then
+              match
+                route ~src:cluster ~dst:d
+                  ~carried:(e.distance > 0 || same_circuit t e.src e.dst)
+                  e.value
+              with
+              | Ok () -> ()
+              | Error m -> raise (Blocked m))
+          (Problem.succs t.problem node);
+        (* Inlined {!update_cost} with contribution snapshots. *)
+        let pg = Problem.pg t.problem in
+        if t.cache_ii <> target_ii then begin
+          sp.sp_full <-
+            Some
+              ( Array.copy t.node_util,
+                Array.copy t.node_proj,
+                Array.copy t.node_fanin );
+          refresh_all t ~ii:target_ii
+        end
+        else
+          List.iter
+            (fun id ->
+              if Pattern_graph.is_regular pg id then begin
+                sp.sp_nodes <-
+                  (id, t.node_util.(id), t.node_proj.(id), t.node_fanin.(id))
+                  :: sp.sp_nodes;
+                refresh_node t ~ii:target_ii (Pattern_graph.node pg id)
+              end)
+            !touched;
+        t.cost_v <- Cost.score weights (aggregate t ~ii:target_ii);
+        t.spec <- Some sp;
+        Ok ()
+      with Blocked m ->
+        rollback ();
+        Error m
+    end
+
+let undo_speculation t =
+  match t.spec with
+  | None -> invalid_arg "State.undo_speculation: nothing in flight"
+  | Some sp ->
+      (match sp.sp_full with
+      | Some (u, p, f) ->
+          Array.blit u 0 t.node_util 0 (Array.length u);
+          Array.blit p 0 t.node_proj 0 (Array.length p);
+          Array.blit f 0 t.node_fanin 0 (Array.length f)
+      | None ->
+          List.iter
+            (fun (id, u, p, f) ->
+              t.node_util.(id) <- u;
+              t.node_proj.(id) <- p;
+              t.node_fanin.(id) <- f)
+            sp.sp_nodes);
+      t.cache_ii <- sp.sp_cache_ii;
+      t.cost_v <- sp.sp_cost_v;
+      t.extra_cost <- sp.sp_extra;
+      t.carried_cuts <- sp.sp_carried;
+      t.place.(sp.sp_node) <- -1;
+      t.members.(sp.sp_cluster) <- sp.sp_members;
+      t.dem.(sp.sp_cluster) <- sp.sp_dem;
+      t.assigned <- t.assigned - 1;
+      Copy_flow.undo_to_mark t.flow sp.sp_fmark;
+      t.spec <- None
+
 let force_assign t ~node ~cluster ~ii =
   let nd = Problem.node t.problem node in
   if t.place.(node) >= 0 then Error "node already assigned"
@@ -298,9 +458,49 @@ let add_forward t ~value ~via =
   t.cache_ii <- -1;
   t.fwds <- (value, via) :: t.fwds
 
+(* Transposition signature: everything that makes two partial solutions
+   behave identically downstream — placement, routed flow, forwards,
+   carried cuts and the (bit-exact) cost terms. *)
+let signature t =
+  let h = Hca_util.Sig_hash.create () in
+  Hca_util.Sig_hash.add_int h t.assigned;
+  Hca_util.Sig_hash.add_int h t.carried_cuts;
+  Hca_util.Sig_hash.add_float h t.cost_v;
+  Hca_util.Sig_hash.add_float h t.extra_cost;
+  Hca_util.Sig_hash.add_int_array h t.place;
+  Copy_flow.hash_into t.flow h;
+  List.iter
+    (fun (v, via) ->
+      Hca_util.Sig_hash.add_int h v;
+      Hca_util.Sig_hash.add_int h via)
+    t.fwds;
+  Hca_util.Sig_hash.value h
+
+let equal a b =
+  a.assigned = b.assigned
+  && a.carried_cuts = b.carried_cuts
+  && a.cost_v = b.cost_v
+  && a.extra_cost = b.extra_cost
+  && a.place = b.place
+  && a.fwds = b.fwds
+  && Copy_flow.equal a.flow b.flow
+
+(* Test hook: {!equal} plus the derived structures ([members], [dem])
+   and the incremental-cost caches, so the trail property test can
+   assert a speculation round trip restores *every* field bit for
+   bit. *)
+let debug_identical a b =
+  equal a b
+  && a.members = b.members
+  && a.dem = b.dem
+  && a.cache_ii = b.cache_ii
+  && a.node_util = b.node_util
+  && a.node_proj = b.node_proj
+  && a.node_fanin = b.node_fanin
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>state (%d/%d assigned, cost %.2f)" t.assigned
-    (Problem.size t.problem) t.cost_v;
+    (Problem.size t.problem) (cost t);
   Array.iteri
     (fun id c ->
       if c >= 0 then

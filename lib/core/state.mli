@@ -47,6 +47,30 @@ val try_assign :
     driver had to relax [ii] for feasibility.  The input state is not
     modified. *)
 
+val speculate_assign :
+  t ->
+  node:int ->
+  cluster:Pattern_graph.node_id ->
+  ii:int ->
+  target_ii:int ->
+  weights:Cost.weights ->
+  (unit, string) result
+(** Trail-based twin of {!try_assign}: applies the same move with the
+    same checks and the same cost arithmetic to [t] itself, recording
+    an undo trail instead of cloning.  On [Ok ()] the move is left
+    applied — read {!cost}, {!free_issue_slots}, {!add_penalty} etc. to
+    score it — until {!undo_speculation} restores [t] bit for bit.  On
+    [Error] the state has already been rolled back.  At most one
+    speculation may be in flight per state, and a state with a
+    speculation in flight cannot be cloned.  The costs produced this
+    way are bit-identical to the clone-based {!try_assign} (property
+    tested), so the SEE can rank candidates speculatively and
+    materialise real clones only for the beam survivors. *)
+
+val undo_speculation : t -> unit
+(** Reverts the in-flight speculative move.
+    @raise Invalid_argument when none is in flight. *)
+
 val force_assign :
   t ->
   node:int ->
@@ -92,6 +116,21 @@ val add_penalty : t -> float -> unit
 
 val free_issue_slots : t -> cluster:Pattern_graph.node_id -> ii:int -> int
 (** Remaining issue capacity of a cluster under the window [ii]. *)
+
+val signature : t -> int
+(** Transposition signature over placement, flow, forwards and the
+    bit-exact cost terms: two states with different signatures are
+    guaranteed different; equal signatures are confirmed with {!equal}
+    before the SEE drops a beam entry as a duplicate. *)
+
+val equal : t -> t -> bool
+(** Structural identity of two partial solutions: same placement, same
+    routed flow, same forwards, same carried cuts and bit-equal cost
+    terms. *)
+
+val debug_identical : t -> t -> bool
+(** {!equal} plus every derived structure and incremental-cost cache —
+    the property-test oracle for speculation round trips. *)
 
 val recompute_cost : t -> target_ii:int -> weights:Cost.weights -> unit
 (** From-scratch reference: rebuilds every per-cluster cost

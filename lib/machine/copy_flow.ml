@@ -14,7 +14,15 @@ type t = {
   out_deg : int array;  (* distinct real out-neighbours *)
   committed_in : int array;  (* real or reserved in-arcs *)
   mutable used_ports : int;  (* in-ports with at least one out-arc *)
+  (* Speculation trail: while a mark is outstanding, [add_copy] logs
+     each mutated [(src, dst)] so [undo_to_mark] can reverse the
+     mutations exactly (LIFO: the value lists are stacks). *)
+  mutable trail : (int * int) list;
+  mutable trail_len : int;
+  mutable marks : int;
 }
+
+type mark = int
 
 let create ?(max_in_ports = max_int) pg =
   let n = Pattern_graph.size pg in
@@ -29,11 +37,15 @@ let create ?(max_in_ports = max_int) pg =
     out_deg = Array.make n 0;
     committed_in = Array.make n 0;
     used_ports = 0;
+    trail = [];
+    trail_len = 0;
+    marks = 0;
   }
 
 let pg t = t.pg
 
 let clone t =
+  if t.marks <> 0 then invalid_arg "Copy_flow.clone: speculation in flight";
   {
     t with
     values = Array.map Array.copy t.values;
@@ -41,6 +53,8 @@ let clone t =
     in_deg = Array.copy t.in_deg;
     out_deg = Array.copy t.out_deg;
     committed_in = Array.copy t.committed_in;
+    trail = [];
+    trail_len = 0;
   }
   (* [reserved] is never mutated after setup, so sharing it is safe. *)
 
@@ -114,8 +128,81 @@ let add_copy t ~src ~dst value =
     end;
     t.values.(src).(dst) <- value :: t.values.(src).(dst);
     t.total <- t.total + 1;
-    t.in_pres.(dst) <- t.in_pres.(dst) + 1
+    t.in_pres.(dst) <- t.in_pres.(dst) + 1;
+    if t.marks > 0 then begin
+      t.trail <- (src, dst) :: t.trail;
+      t.trail_len <- t.trail_len + 1
+    end
   end
+
+let push_mark t =
+  t.marks <- t.marks + 1;
+  t.trail_len
+
+(* Reverse of the mutating branch of [add_copy]: pop the value, and
+   when the arc empties again reverse the arc-level counters under the
+   same conditions the add tested. *)
+let undo_event t (src, dst) =
+  match t.values.(src).(dst) with
+  | [] -> assert false
+  | _ :: tl ->
+      t.values.(src).(dst) <- tl;
+      t.total <- t.total - 1;
+      t.in_pres.(dst) <- t.in_pres.(dst) - 1;
+      if tl = [] then begin
+        t.in_deg.(dst) <- t.in_deg.(dst) - 1;
+        t.out_deg.(src) <- t.out_deg.(src) - 1;
+        if is_in_port t src && t.out_deg.(src) = 0 then
+          t.used_ports <- t.used_ports - 1;
+        if not t.reserved.(src).(dst) then
+          t.committed_in.(dst) <- t.committed_in.(dst) - 1
+      end
+
+let undo_to_mark t mark =
+  if t.marks <= 0 then invalid_arg "Copy_flow.undo_to_mark: no mark in flight";
+  while t.trail_len > mark do
+    match t.trail with
+    | [] -> assert false
+    | ev :: rest ->
+        undo_event t ev;
+        t.trail <- rest;
+        t.trail_len <- t.trail_len - 1
+  done;
+  t.marks <- t.marks - 1
+
+let equal a b =
+  let n = Pattern_graph.size a.pg in
+  n = Pattern_graph.size b.pg
+  && a.total = b.total
+  && a.used_ports = b.used_ports
+  &&
+  let ok = ref true in
+  (try
+     for src = 0 to n - 1 do
+       for dst = 0 to n - 1 do
+         if a.values.(src).(dst) <> b.values.(src).(dst) then begin
+           ok := false;
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  !ok
+
+let hash_into t h =
+  let n = Pattern_graph.size t.pg in
+  Hca_util.Sig_hash.add_int h t.total;
+  Hca_util.Sig_hash.add_int h t.used_ports;
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      match t.values.(src).(dst) with
+      | [] -> ()
+      | vs ->
+          Hca_util.Sig_hash.add_int h src;
+          Hca_util.Sig_hash.add_int h dst;
+          Hca_util.Sig_hash.add_int_list h vs
+    done
+  done
 
 let arcs t =
   let n = Pattern_graph.size t.pg in

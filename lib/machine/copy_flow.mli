@@ -47,6 +47,35 @@ val add_copy :
 (** Routes one value.  Idempotent per [(src, dst, value)].
     @raise Invalid_argument when [can_add] is false. *)
 
+(** {1 Speculation trail}
+
+    The SEE probes candidate moves by mutating one scratch flow in
+    place instead of cloning per candidate: [push_mark] opens a trail,
+    every subsequent {!add_copy} logs its mutation, and [undo_to_mark]
+    reverses them exactly, leaving the flow bit-identical to the state
+    at the mark (the round trip is property-tested).  Marks nest
+    LIFO. *)
+
+type mark
+
+val push_mark : t -> mark
+(** Starts (or deepens) trail recording. *)
+
+val undo_to_mark : t -> mark -> unit
+(** Reverts every mutation since the matching {!push_mark} and closes
+    that mark.
+    @raise Invalid_argument when no mark is outstanding. *)
+
+val equal : t -> t -> bool
+(** Structural equality of the routed flows (same PG size, same value
+    lists on every arc).  The aggregate counters are functions of the
+    value matrix, so they are not compared beyond the cheap O(1)
+    prefilters. *)
+
+val hash_into : t -> Hca_util.Sig_hash.t -> unit
+(** Folds the real arcs (ascending [(src, dst)], values in stack order)
+    into a signature: part of the SEE's transposition key. *)
+
 (** {1 Queries} *)
 
 val copies : t -> src:Pattern_graph.node_id -> dst:Pattern_graph.node_id -> Instr.id list

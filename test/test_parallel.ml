@@ -137,15 +137,102 @@ let prop_incremental_cost_exact =
       incremental = from_scratch)
 
 (* ------------------------------------------------------------------ *)
+(* Speculative assignment == clone-based assignment                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Random walk committing one legal move per node; at every step each
+   cluster is probed first speculatively, so the probes run against
+   states of every depth.  [probe] sees the current state and a
+   pristine clone of it, and returns false to fail the property. *)
+let walk_with_probes ~seed ~size probe =
+  let problem = synthetic_problem seed size in
+  let rng = Hca_util.Prng.create (seed + 23) in
+  let ii = 8 and target_ii = 8 in
+  let weights = Cost.default_weights in
+  let st = ref (State.create problem) in
+  let ok = ref true in
+  for node = 0 to Problem.size problem - 1 do
+    let pristine = State.clone !st in
+    for cluster = 0 to 3 do
+      if not (probe !st pristine ~node ~cluster ~ii ~target_ii ~weights) then
+        ok := false
+    done;
+    let start = Hca_util.Prng.int rng 4 in
+    let rec try_from i =
+      if i < 4 then
+        match
+          State.try_assign !st ~node
+            ~cluster:((start + i) mod 4)
+            ~ii ~target_ii ~weights
+        with
+        | Ok st' -> st := st'
+        | Error _ -> try_from (i + 1)
+    in
+    try_from 0
+  done;
+  !ok
+
+let prop_speculation_roundtrip =
+  QCheck.Test.make
+    ~name:"speculate_assign + undo leaves the state bit-identical" ~count:40
+    QCheck.(pair (int_range 0 1000) (int_range 6 16))
+    (fun (seed, size) ->
+      walk_with_probes ~seed ~size
+        (fun st pristine ~node ~cluster ~ii ~target_ii ~weights ->
+          (match
+             State.speculate_assign st ~node ~cluster ~ii ~target_ii ~weights
+           with
+          | Ok () -> State.undo_speculation st
+          | Error _ -> () (* failed moves roll back on their own *));
+          State.debug_identical st pristine))
+
+let prop_speculative_cost_exact =
+  QCheck.Test.make
+    ~name:"speculative cost = clone-based try_assign cost, bit for bit"
+    ~count:40
+    QCheck.(pair (int_range 0 1000) (int_range 6 16))
+    (fun (seed, size) ->
+      walk_with_probes ~seed ~size
+        (fun st _pristine ~node ~cluster ~ii ~target_ii ~weights ->
+          let spec =
+            match
+              State.speculate_assign st ~node ~cluster ~ii ~target_ii ~weights
+            with
+            | Ok () ->
+                let c = State.cost st in
+                State.undo_speculation st;
+                Some c
+            | Error _ -> None
+          in
+          let cloned =
+            match
+              State.try_assign st ~node ~cluster ~ii ~target_ii ~weights
+            with
+            | Ok st' -> Some (State.cost st')
+            | Error _ -> None
+          in
+          match (spec, cloned) with
+          | Some a, Some b -> Int64.bits_of_float a = Int64.bits_of_float b
+          | None, None -> true
+          | _ -> false))
+
+(* ------------------------------------------------------------------ *)
 (* Parallel drivers reproduce their sequential runs                    *)
 (* ------------------------------------------------------------------ *)
 
-let report_fields (r : Report.t) =
+let quality_fields (r : Report.t) =
   ( (r.Report.legal, r.Report.final_mii, r.Report.ii_used, r.Report.copies),
     ( r.Report.forwards,
       r.Report.max_wire_load,
       r.Report.explored_states,
       r.Report.routed_moves ) )
+
+(* The memo counters are part of the jobs-invariance contract too:
+   only attempts of the sequential walk count towards them. *)
+let report_fields (r : Report.t) =
+  ( quality_fields r,
+    (r.Report.cache_hits, r.Report.cache_misses, r.Report.reused_subproblems)
+  )
 
 let test_portfolio_jobs_invariant () =
   let fabric = Dspfabric.reference in
@@ -176,6 +263,25 @@ let test_report_jobs_invariant () =
   Alcotest.(check bool)
     "Report.run jobs=4 = jobs=1" true
     (report_fields seq = report_fields par)
+
+let test_memo_invariant () =
+  let fabric = Dspfabric.reference in
+  List.iter
+    (fun (name, f) ->
+      let ddg = f () in
+      let on = Report.run ~memo:true fabric ddg in
+      let off = Report.run ~memo:false fabric ddg in
+      Alcotest.(check bool)
+        (name ^ ": memo on = memo off")
+        true
+        (quality_fields on = quality_fields off);
+      Alcotest.(check bool)
+        (name ^ ": memo off counts nothing")
+        true
+        ((off.Report.cache_hits, off.Report.cache_misses,
+          off.Report.reused_subproblems)
+        = (0, 0, 0)))
+    Hca_kernels.Registry.all
 
 let test_oracle_jobs_invariant () =
   let fabric = Dspfabric.make ~fanouts:[| 2; 2; 2 |] ~n:4 ~m:4 ~k:4 () in
@@ -208,10 +314,16 @@ let () =
       ("topk", [ QCheck_alcotest.to_alcotest prop_topk_matches_sorted_prefix ]);
       ( "incremental_cost",
         [ QCheck_alcotest.to_alcotest prop_incremental_cost_exact ] );
+      ( "speculation",
+        [
+          QCheck_alcotest.to_alcotest prop_speculation_roundtrip;
+          QCheck_alcotest.to_alcotest prop_speculative_cost_exact;
+        ] );
       ( "drivers",
         [
           Alcotest.test_case "report jobs invariant" `Quick
             test_report_jobs_invariant;
+          Alcotest.test_case "memo on/off invariant" `Slow test_memo_invariant;
           Alcotest.test_case "portfolio jobs invariant" `Slow
             test_portfolio_jobs_invariant;
           Alcotest.test_case "oracle jobs invariant" `Quick
