@@ -19,6 +19,14 @@
    "copies" and "runtime_s" — so the bench trajectory can be tracked
    across PRs by machines instead of eyeballs.
 
+   The global flag --profile turns the lib/obs tracer on around each
+   kernel of those experiments and appends per-phase wall-clock columns
+   (phase_probe_s, phase_see_s, phase_mapper_s, phase_router_s,
+   phase_oracle_s, spec_applies) to every JSON row; kernel-axis
+   parallelism drops to 1 so the attribution window brackets exactly one
+   kernel.  Every row also carries "config_hash" and "git" so results
+   can be tied back to the code state that produced them.
+
    The global flag --jobs N (default: Domain.recommended_domain_count)
    sizes the domain pool: table1 fans out the portfolio configurations,
    fig_scaling/extended fan out over kernels, and optgap probes oracle
@@ -37,9 +45,25 @@ let reference = Dspfabric.reference
 
 let json_mode = ref false
 
+let profile_mode = ref false
+
 let jobs = ref (Hca_util.Domain_pool.default_jobs ())
 
 let heading title = if not !json_mode then Printf.printf "\n=== %s ===\n%!" title
+
+let jstr_of s = Printf.sprintf "%S" s
+
+(* Run-identification echo: every NDJSON row carries the configuration
+   fingerprint and the git state it was produced under, so BENCH_*.json
+   rows and trace files can be correlated after the fact. *)
+let stamp_fields =
+  lazy
+    [
+      ( "config_hash",
+        jstr_of
+          (Hca_util.Stamp.hash (Config.default, Dspfabric.name reference)) );
+      ("git", jstr_of (Hca_util.Stamp.git_describe ()));
+    ]
 
 (* One NDJSON record.  Values arrive already JSON-encoded (use the j*
    helpers); OCaml's %S escaping is JSON-compatible for the plain ASCII
@@ -47,7 +71,9 @@ let heading title = if not !json_mode then Printf.printf "\n=== %s ===\n%!" titl
 let emit_json ~experiment ~kernel fields =
   Printf.printf "{\"experiment\":%S,\"kernel\":%S%s}\n%!" experiment kernel
     (String.concat ""
-       (List.map (fun (k, v) -> Printf.sprintf ",%S:%s" k v) fields))
+       (List.map
+          (fun (k, v) -> Printf.sprintf ",%S:%s" k v)
+          (fields @ Lazy.force stamp_fields)))
 
 let jint = string_of_int
 
@@ -62,6 +88,33 @@ let jbool = string_of_bool
 let left h = (h, Hca_util.Tabular.Left)
 
 let right h = (h, Hca_util.Tabular.Right)
+
+(* Per-kernel phase attribution under --profile: reset the tracer, run
+   one kernel's work, and summarise what accumulated.  The window
+   brackets a single kernel, so any inner parallelism (the portfolio or
+   oracle fan-out) is fully contained in it and every domain's buffer
+   merges into the same summary.  Experiments that fan out over kernels
+   must iterate them sequentially in profile mode for the attribution to
+   hold — they drop to [~jobs:1] on the kernel axis when profiling. *)
+let profiled f =
+  if not !profile_mode then (f (), [])
+  else begin
+    Hca_obs.Obs.reset ();
+    Hca_obs.Obs.enable ();
+    let v = Fun.protect ~finally:Hca_obs.Obs.disable f in
+    let s = Hca_obs.Obs.Summary.collect () in
+    let phase col name = (col, jfloat (Hca_obs.Obs.Summary.phase_s s name)) in
+    ( v,
+      [
+        phase "phase_probe_s" "report.probe";
+        phase "phase_see_s" "see.solve";
+        phase "phase_mapper_s" "mapper.map";
+        phase "phase_router_s" "router.route";
+        phase "phase_oracle_s" "oracle.run";
+        ( "spec_applies",
+          jint (Hca_obs.Obs.Summary.counter s "state.spec_apply") );
+      ] )
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Table 1: HCA test on four multimedia application loops.             *)
@@ -84,24 +137,27 @@ let table1 () =
       (* One portfolio sweep per kernel: the "default" entry doubles as
          the plain [Report.run] row, so the default configuration is
          searched once, not twice. *)
-      let reports = Portfolio.run_all ~jobs:!jobs reference ddg in
+      let reports, phases =
+        profiled (fun () -> Portfolio.run_all ~jobs:!jobs reference ddg)
+      in
       let r = List.assoc "default" reports in
       let best, _ = Portfolio.best_of reports in
       let optimum = Hca_baseline.Unified.mii ddg reference in
       if !json_mode then
         emit_json ~experiment:"table1" ~kernel:name
-          [
-            ("n_instr", jint r.Report.n_instr);
-            ("legal", jbool r.Report.legal);
-            ("final_mii", jopt_int r.Report.final_mii);
-            ("portfolio_mii", jopt_int best.Report.final_mii);
-            ("unified_mii", jint optimum);
-            ("copies", jint r.Report.copies);
-            ("runtime_s", jfloat r.Report.runtime_s);
-            ("cache_hits", jint r.Report.cache_hits);
-            ("cache_misses", jint r.Report.cache_misses);
-            ("reused_subproblems", jint r.Report.reused_subproblems);
-          ]
+          ([
+             ("n_instr", jint r.Report.n_instr);
+             ("legal", jbool r.Report.legal);
+             ("final_mii", jopt_int r.Report.final_mii);
+             ("portfolio_mii", jopt_int best.Report.final_mii);
+             ("unified_mii", jint optimum);
+             ("copies", jint r.Report.copies);
+             ("runtime_s", jfloat r.Report.runtime_s);
+             ("cache_hits", jint r.Report.cache_hits);
+             ("cache_misses", jint r.Report.cache_misses);
+             ("reused_subproblems", jint r.Report.reused_subproblems);
+           ]
+          @ phases)
       else
         Hca_util.Tabular.add_row t
           [
@@ -167,17 +223,24 @@ let fig_scaling () =
   in
   let rows =
     (* Independent kernels fan out; the row list comes back in registry
-       order, so the table reads the same at every --jobs. *)
-    Hca_util.Domain_pool.parallel_map ~jobs:!jobs
+       order, so the table reads the same at every --jobs.  Profile mode
+       walks the kernels sequentially so each [profiled] window captures
+       exactly one kernel. *)
+    Hca_util.Domain_pool.parallel_map
+      ~jobs:(if !profile_mode then 1 else !jobs)
       (fun (name, f) ->
         let ddg = f () in
-        let hca = Report.run reference ddg in
-        let flat = Hca_baseline.Flat_ica.run reference ddg in
-        (name, hca, flat))
+        let (hca, flat), phases =
+          profiled (fun () ->
+              let hca = Report.run reference ddg in
+              let flat = Hca_baseline.Flat_ica.run reference ddg in
+              (hca, flat))
+        in
+        (name, hca, flat, phases))
       Hca_kernels.Registry.all
   in
   List.iter
-    (fun (name, hca, flat) ->
+    (fun (name, hca, flat, phases) ->
       let violations =
         match flat.Hca_baseline.Flat_ica.outcome with
         | Some o ->
@@ -186,18 +249,19 @@ let fig_scaling () =
       in
       if !json_mode then
         emit_json ~experiment:"fig_scaling" ~kernel:name
-          [
-            ("final_mii", jopt_int hca.Report.final_mii);
-            ("copies", jint hca.Report.copies);
-            ("runtime_s", jfloat hca.Report.runtime_s);
-            ("hca_states", jint hca.Report.explored_states);
-            ("cache_hits", jint hca.Report.cache_hits);
-            ("cache_misses", jint hca.Report.cache_misses);
-            ("reused_subproblems", jint hca.Report.reused_subproblems);
-            ("flat_states", jint flat.Hca_baseline.Flat_ica.explored);
-            ("flat_runtime_s", jfloat flat.Hca_baseline.Flat_ica.runtime_s);
-            ("flat_mux_violations", jopt_int violations);
-          ]
+          ([
+             ("final_mii", jopt_int hca.Report.final_mii);
+             ("copies", jint hca.Report.copies);
+             ("runtime_s", jfloat hca.Report.runtime_s);
+             ("hca_states", jint hca.Report.explored_states);
+             ("cache_hits", jint hca.Report.cache_hits);
+             ("cache_misses", jint hca.Report.cache_misses);
+             ("reused_subproblems", jint hca.Report.reused_subproblems);
+             ("flat_states", jint flat.Hca_baseline.Flat_ica.explored);
+             ("flat_runtime_s", jfloat flat.Hca_baseline.Flat_ica.runtime_s);
+             ("flat_mux_violations", jopt_int violations);
+           ]
+          @ phases)
       else
         Hca_util.Tabular.add_row t
           [
@@ -432,8 +496,14 @@ let optgap () =
       let ddg = f () in
       let n = Ddg.size ddg in
       let budget_s = if n <= 24 then 10. else 5. in
-      let hca = Report.run fabric ddg in
-      let oracle = Hca_exact.Oracle.run ~budget_s ~jobs:!jobs fabric ddg in
+      let (hca, oracle), phases =
+        profiled (fun () ->
+            let hca = Report.run fabric ddg in
+            let oracle =
+              Hca_exact.Oracle.run ~budget_s ~jobs:!jobs fabric ddg
+            in
+            (hca, oracle))
+      in
       let gap =
         match (hca.Report.final_mii, hca.Report.legal) with
         | Some achieved, true ->
@@ -451,20 +521,21 @@ let optgap () =
       in
       if !json_mode then
         emit_json ~experiment:"optgap" ~kernel:name
-          [
-            ("n_instr", jint n);
-            ("hca_final_mii", jopt_int hca.Report.final_mii);
-            ("hca_legal", jbool hca.Report.legal);
-            ("hca_cache_hits", jint hca.Report.cache_hits);
-            ("status", jstr (Hca_exact.Oracle.status_to_string oracle.Hca_exact.Oracle.status));
-            ("final_mii", jopt_int oracle.Hca_exact.Oracle.final_mii);
-            ("lower_bound", jint oracle.Hca_exact.Oracle.lower_bound);
-            ("copies", jint oracle.Hca_exact.Oracle.copies);
-            ( "gap",
-              match gap with Some g -> jfloat g | None -> "null" );
-            ("sat_conflicts", jint oracle.Hca_exact.Oracle.explored);
-            ("runtime_s", jfloat oracle.Hca_exact.Oracle.runtime_s);
-          ]
+          ([
+             ("n_instr", jint n);
+             ("hca_final_mii", jopt_int hca.Report.final_mii);
+             ("hca_legal", jbool hca.Report.legal);
+             ("hca_cache_hits", jint hca.Report.cache_hits);
+             ("status", jstr (Hca_exact.Oracle.status_to_string oracle.Hca_exact.Oracle.status));
+             ("final_mii", jopt_int oracle.Hca_exact.Oracle.final_mii);
+             ("lower_bound", jint oracle.Hca_exact.Oracle.lower_bound);
+             ("copies", jint oracle.Hca_exact.Oracle.copies);
+             ( "gap",
+               match gap with Some g -> jfloat g | None -> "null" );
+             ("sat_conflicts", jint oracle.Hca_exact.Oracle.explored);
+             ("runtime_s", jfloat oracle.Hca_exact.Oracle.runtime_s);
+           ]
+          @ phases)
       else
         Hca_util.Tabular.add_row t
           [
@@ -761,14 +832,16 @@ let extended () =
       ]
   in
   let rows =
-    Hca_util.Domain_pool.parallel_map ~jobs:!jobs
+    Hca_util.Domain_pool.parallel_map
+      ~jobs:(if !profile_mode then 1 else !jobs)
       (fun (name, f) ->
         let ddg = f () in
-        (name, Report.run reference ddg))
+        let r, phases = profiled (fun () -> Report.run reference ddg) in
+        (name, r, phases))
       Hca_kernels.Extended.all
   in
   List.iter
-    (fun (name, r) ->
+    (fun (name, r, phases) ->
       let wires =
         match r.Report.result with
         | Some res -> Some (Topology.wire_count (Topology.of_result res))
@@ -776,18 +849,19 @@ let extended () =
       in
       if !json_mode then
         emit_json ~experiment:"extended" ~kernel:name
-          [
-            ("n_instr", jint r.Report.n_instr);
-            ("ini_mii", jint r.Report.ini_mii);
-            ("legal", jbool r.Report.legal);
-            ("final_mii", jopt_int r.Report.final_mii);
-            ("copies", jint r.Report.copies);
-            ("runtime_s", jfloat r.Report.runtime_s);
-            ("cache_hits", jint r.Report.cache_hits);
-            ("cache_misses", jint r.Report.cache_misses);
-            ("reused_subproblems", jint r.Report.reused_subproblems);
-            ("wires", jopt_int wires);
-          ]
+          ([
+             ("n_instr", jint r.Report.n_instr);
+             ("ini_mii", jint r.Report.ini_mii);
+             ("legal", jbool r.Report.legal);
+             ("final_mii", jopt_int r.Report.final_mii);
+             ("copies", jint r.Report.copies);
+             ("runtime_s", jfloat r.Report.runtime_s);
+             ("cache_hits", jint r.Report.cache_hits);
+             ("cache_misses", jint r.Report.cache_misses);
+             ("reused_subproblems", jint r.Report.reused_subproblems);
+             ("wires", jopt_int wires);
+           ]
+          @ phases)
       else
         Hca_util.Tabular.add_row t
           [
@@ -834,6 +908,9 @@ let () =
     | [] -> List.rev acc
     | "--json" :: rest ->
         json_mode := true;
+        parse acc rest
+    | "--profile" :: rest ->
+        profile_mode := true;
         parse acc rest
     | "--jobs" :: v :: rest ->
         set_jobs v;

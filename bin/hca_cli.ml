@@ -92,6 +92,33 @@ let jobs_term =
 
 let resources_of fabric = Dspfabric.resources fabric
 
+let trace_meta () = [ ("git", Hca_util.Stamp.git_describe ()) ]
+
+(* [--trace FILE]: record the run and save a Chrome trace-event /
+   Perfetto JSON file next to whatever the subcommand prints. *)
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+      Hca_obs.Obs.reset ();
+      Hca_obs.Obs.enable ();
+      Fun.protect
+        ~finally:(fun () ->
+          Hca_obs.Obs.disable ();
+          Hca_obs.Obs.Trace.write ~meta:(trace_meta ()) path;
+          Printf.eprintf "trace written to %s\n%!" path)
+        f
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record the run and write a Chrome trace-event JSON file \
+           (load it at https://ui.perfetto.dev): one track per domain, \
+           spans for hierarchy levels / SEE / mapper / II probes.")
+
 let stats_cmd =
   let run (name, f) fabric =
     let ddg = f () in
@@ -109,8 +136,9 @@ let stats_cmd =
     Term.(const run $ kernel_arg $ fabric_term)
 
 let run_cmd =
-  let run (name, f) fabric config jobs no_memo stats ii =
+  let run (name, f) fabric config jobs no_memo stats trace ii =
     ignore name;
+    with_trace trace @@ fun () ->
     match ii with
     | None ->
         let report =
@@ -118,12 +146,17 @@ let run_cmd =
         in
         Format.printf "%a@." Report.pp report;
         if stats then
+          (* The memo block prints even when all counters are zero;
+             a disabled memo is labelled, not elided. *)
           Format.printf
-            "search stats: explored=%d routed=%d memo hits=%d misses=%d \
-             reused subproblems=%d@."
+            "search stats: explored=%d routed=%d %s@."
             report.Report.explored_states report.Report.routed_moves
-            report.Report.cache_hits report.Report.cache_misses
-            report.Report.reused_subproblems
+            (if not report.Report.memo_enabled then
+               "memo disabled (--no-memo)"
+             else
+               Printf.sprintf "memo hits=%d misses=%d reused subproblems=%d"
+                 report.Report.cache_hits report.Report.cache_misses
+                 report.Report.reused_subproblems)
     | Some ii -> (
         (* Debug mode: a single HCA pass at a fixed II. *)
         let ddg = f () in
@@ -159,7 +192,89 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run HCA on one kernel")
     Term.(
       const run $ kernel_arg $ fabric_term $ config_term $ jobs_term $ no_memo
-      $ stats $ ii_arg)
+      $ stats $ trace_arg $ ii_arg)
+
+let profile_cmd =
+  let run (name, f) fabric config jobs no_memo trace =
+    ignore name;
+    Hca_obs.Obs.reset ();
+    Hca_obs.Obs.enable ();
+    let report = Report.run ~config ~jobs ~memo:(not no_memo) fabric (f ()) in
+    Hca_obs.Obs.disable ();
+    Format.printf "%a@.@." Report.pp report;
+    Hca_obs.Obs.Summary.print (Hca_obs.Obs.Summary.collect ());
+    match trace with
+    | None -> ()
+    | Some path ->
+        Hca_obs.Obs.Trace.write ~meta:(trace_meta ()) path;
+        Printf.eprintf "trace written to %s\n%!" path
+  in
+  let no_memo =
+    Arg.(
+      value & flag
+      & info [ "no-memo" ] ~doc:"Profile without the subproblem memo cache.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run HCA on one kernel under the tracer and print aggregated \
+          per-phase wall-clock/self-time, counter and histogram tables")
+    Term.(
+      const run $ kernel_arg $ fabric_term $ config_term $ jobs_term $ no_memo
+      $ trace_arg)
+
+let tracecheck_cmd =
+  let run file expects quiet =
+    match Hca_obs.Trace_check.validate_file file with
+    | Error e ->
+        Printf.eprintf "INVALID trace %s: %s\n" file e;
+        exit 1
+    | Ok st ->
+        Printf.printf "valid Chrome trace: %d events, %d track(s)\n"
+          st.Hca_obs.Trace_check.events
+          (List.length st.Hca_obs.Trace_check.tracks);
+        if not quiet then begin
+          List.iter
+            (fun (tid, n) -> Printf.printf "  domain %d: %d span(s)\n" tid n)
+            st.Hca_obs.Trace_check.tracks;
+          List.iter
+            (fun (name, n) -> Printf.printf "  span %-20s x%d\n" name n)
+            st.Hca_obs.Trace_check.span_names
+        end;
+        let missing =
+          List.filter
+            (fun e ->
+              not (List.mem_assoc e st.Hca_obs.Trace_check.span_names))
+            expects
+        in
+        if missing <> [] then begin
+          Printf.eprintf "missing expected span(s): %s\n"
+            (String.concat ", " missing);
+          exit 1
+        end
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE.json" ~doc:"Trace file to validate.")
+  in
+  let expects =
+    Arg.(
+      value & opt_all string []
+      & info [ "expect" ] ~docv:"NAME"
+          ~doc:"Fail unless at least one completed span has this name \
+                (repeatable).")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Only print the verdict.")
+  in
+  Cmd.v
+    (Cmd.info "tracecheck"
+       ~doc:
+         "Validate a Chrome trace-event JSON file (well-formed JSON, \
+          balanced per-track span nesting)")
+    Term.(const run $ file $ expects $ quiet)
 
 let table1_cmd =
   let run fabric config =
@@ -383,15 +498,16 @@ let simulate_cmd =
     Term.(const run $ kernel_arg $ fabric_term $ config_term $ iters)
 
 let portfolio_cmd =
-  let run (name, f) fabric jobs =
+  let run (name, f) fabric jobs trace =
     ignore name;
+    with_trace trace @@ fun () ->
     let report, winner = Portfolio.run ~jobs fabric (f ()) in
     Format.printf "%a@.winning configuration: %s@." Report.pp report winner
   in
   Cmd.v
     (Cmd.info "portfolio"
        ~doc:"Run the configuration portfolio and keep the best result")
-    Term.(const run $ kernel_arg $ fabric_term $ jobs_term)
+    Term.(const run $ kernel_arg $ fabric_term $ jobs_term $ trace_arg)
 
 let rcp_cmd =
   let run (name, f) ports =
@@ -420,8 +536,9 @@ let rcp_cmd =
 
 let exact_cmd =
   let module O = Hca_exact.Oracle in
-  let run (name, f) fabric budget strict max_ii jobs no_hca =
+  let run (name, f) fabric budget strict max_ii jobs no_hca trace =
     let ddg = f () in
+    with_trace trace @@ fun () ->
     Format.printf "kernel %s on %s@." name (Dspfabric.name fabric);
     let oracle = O.run ~strict ~budget_s:budget ?max_ii ~jobs fabric ddg in
     Format.printf "%a@." O.pp oracle;
@@ -474,7 +591,7 @@ let exact_cmd =
        ~doc:"Exact SAT-based cluster-assignment oracle (optimality gap)")
     Term.(
       const run $ kernel_arg $ fabric_term $ budget $ strict $ max_ii
-      $ jobs_term $ no_hca)
+      $ jobs_term $ no_hca $ trace_arg)
 
 let list_cmd =
   let run () =
@@ -493,4 +610,4 @@ let () =
     Cmd.info "hca" ~version:"1.0.0"
       ~doc:"Hierarchical Cluster Assignment for DSPFabric (IPPS 2007 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ stats_cmd; run_cmd; exact_cmd; table1_cmd; dot_cmd; explain_cmd; level0_cmd; topology_cmd; sched_cmd; simulate_cmd; portfolio_cmd; rcp_cmd; list_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ stats_cmd; run_cmd; profile_cmd; tracecheck_cmd; exact_cmd; table1_cmd; dot_cmd; explain_cmd; level0_cmd; topology_cmd; sched_cmd; simulate_cmd; portfolio_cmd; rcp_cmd; list_cmd ]))

@@ -124,6 +124,9 @@ let take n l =
   go n l
 
 let solve ?(config = Config.default) ?target_ii ?cache ?stats fabric ddg ~ii =
+  Hca_obs.Obs.span "hierarchy.solve"
+    ~args:[ ("kernel", Ddg.name ddg); ("ii", string_of_int ii) ]
+  @@ fun () ->
   let target_ii = Option.value ~default:ii target_ii in
   let explored = ref 0 and routed = ref 0 in
   let rec solve_sub ~level ~path ~ws ~ili =
@@ -150,6 +153,10 @@ let solve ?(config = Config.default) ?target_ii ?cache ?stats fabric ddg ~ii =
                 s.cache_hits <- s.cache_hits + 1;
                 s.reused_subproblems <- s.reused_subproblems + e.e_subproblems
             | None -> ());
+            Hca_obs.Obs.count "memo.hit" 1;
+            if Hca_obs.Obs.enabled () then
+              Hca_obs.Obs.instant "memo.hit"
+                ~args:[ ("path", path_name path) ];
             explored := !explored + e.e_explored;
             routed := !routed + e.e_routed;
             e.e_res
@@ -157,6 +164,7 @@ let solve ?(config = Config.default) ?target_ii ?cache ?stats fabric ddg ~ii =
             (match stats with
             | Some s -> s.cache_misses <- s.cache_misses + 1
             | None -> ());
+            Hca_obs.Obs.count "memo.miss" 1;
             let x0 = !explored and r0 = !routed in
             let res = compute_sub ~level ~path ~ws ~ili in
             let e_subproblems =
@@ -171,6 +179,17 @@ let solve ?(config = Config.default) ?target_ii ?cache ?stats fabric ddg ~ii =
               };
             res)
   and compute_sub ~level ~path ~ws ~ili =
+    (* One span per solved subproblem, one track level per hierarchy
+       level; memo hits skip this entirely (they cost no search). *)
+    if not (Hca_obs.Obs.enabled ()) then compute_sub_body ~level ~path ~ws ~ili
+    else
+      Hca_obs.Obs.span
+        ("subproblem.L" ^ string_of_int level)
+        ~args:
+          [ ("path", path_name path);
+            ("ws", string_of_int (List.length ws)) ]
+        (fun () -> compute_sub_body ~level ~path ~ws ~ili)
+  and compute_sub_body ~level ~path ~ws ~ili =
     let view = Dspfabric.level_view fabric ~level in
     let name = path_name path in
     (* Every wire into a child burns one of the child's own input

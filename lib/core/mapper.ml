@@ -284,9 +284,8 @@ let build_child_ilis model problem children =
       let label vs = List.mapi (fun idx v -> (idx, v)) vs in
       { Ili.inputs = label (ext_inputs @ intra_inputs); outputs = label outputs })
 
-let map ?(consolidate = false) ?(wire_cap = max_int)
-    ?(color = fun (_ : Hca_ddg.Instr.id) -> 0) ~problem ~state ~in_capacity
-    ~out_capacity () =
+let map_traced ~consolidate ~wire_cap ~color ~problem ~state ~in_capacity
+    ~out_capacity =
   if wire_cap < 1 then invalid_arg "Mapper.map: wire_cap must be >= 1";
   let pg = Problem.pg problem in
   let children = List.length (Pattern_graph.regular_nodes pg) in
@@ -308,6 +307,15 @@ let map ?(consolidate = false) ?(wire_cap = max_int)
   let* () = Machine_model.validate model in
   let child_ilis = build_child_ilis model problem children in
   Ok { model; child_ilis; max_wire_load = Machine_model.max_wire_load model }
+
+let map ?(consolidate = false) ?(wire_cap = max_int)
+    ?(color = fun (_ : Hca_ddg.Instr.id) -> 0) ~problem ~state ~in_capacity
+    ~out_capacity () =
+  Hca_obs.Obs.span "mapper.map"
+    ~args:[ ("problem", Problem.name problem) ]
+    (fun () ->
+      map_traced ~consolidate ~wire_cap ~color ~problem ~state ~in_capacity
+        ~out_capacity)
 
 let wire_pressure_ii r = max 1 r.max_wire_load
 

@@ -42,7 +42,11 @@ let run_all ?(jobs = 1) ?memo ?(configs = default_configs) fabric ddg =
          Each run owns its subproblem memo — the configuration is part
          of the memo key, so sharing across runs would never hit. *)
       Hca_util.Domain_pool.parallel_map ~jobs
-        (fun (name, config) -> (name, Report.run ~config ?memo fabric ddg))
+        (fun (name, config) ->
+          ( name,
+            Hca_obs.Obs.span "portfolio.config"
+              ~args:[ ("config", name) ]
+              (fun () -> Report.run ~config ?memo fabric ddg) ))
         configs
 
 let best_of = function

@@ -19,6 +19,7 @@ type t = {
   cache_hits : int;
   cache_misses : int;
   reused_subproblems : int;
+  memo_enabled : bool;
   runtime_s : float;
   error : string option;
   result : Hierarchy.t option;
@@ -45,21 +46,30 @@ let base_row ~kernel ~machine ddg fabric_resources =
     cache_hits = 0;
     cache_misses = 0;
     reused_subproblems = 0;
+    memo_enabled = false;
     runtime_s = 0.0;
     error = None;
     result = None;
   }
 
 let run ?(config = Config.default) ?(jobs = 1) ?(memo = true) fabric ddg =
+  Hca_obs.Obs.span "report.run" ~args:[ ("kernel", Ddg.name ddg) ]
+  @@ fun () ->
   let t0 = Hca_util.Clock.now () in
   let base =
-    base_row ~kernel:(Ddg.name ddg) ~machine:(Dspfabric.name fabric) ddg
-      (Dspfabric.resources fabric)
+    {
+      (base_row ~kernel:(Ddg.name ddg) ~machine:(Dspfabric.name fabric) ddg
+         (Dspfabric.resources fabric))
+      with
+      memo_enabled = memo;
+    }
   in
   (* One subproblem memo per run: II probes of the same kernel share
      it (the cache is domain-safe and its keys embed the II). *)
   let hcache = if memo then Some (Hierarchy.create_cache ()) else None in
   let attempt ii =
+    Hca_obs.Obs.span "report.probe" ~args:[ ("ii", string_of_int ii) ]
+    @@ fun () ->
     let stats = Hierarchy.create_stats () in
     let r =
       match
@@ -218,18 +228,25 @@ let row t =
     (match t.final_mii with Some m -> string_of_int m | None -> "-");
   ]
 
+(* The memo figures print even when every counter is zero — a zero line
+   must still read as "memo on, nothing reusable", never be mistaken
+   for the memo being off, so the disabled case is labelled. *)
+let memo_string t =
+  if not t.memo_enabled then "memo=off"
+  else
+    Printf.sprintf "memo=%d/%d (reused %d)" t.cache_hits
+      (t.cache_hits + t.cache_misses)
+      t.reused_subproblems
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>%s on %s: %d instrs, MIIRec=%d MIIRes=%d ini=%d -> %s (II target \
      %d, legal=%b)@,\
-     copies=%d forwards=%d wire<=%d explored=%d routed=%d memo=%d/%d \
-     (reused %d) in %.3fs%s@]"
+     copies=%d forwards=%d wire<=%d explored=%d routed=%d %s in %.3fs%s@]"
     t.kernel t.machine t.n_instr t.mii_rec t.mii_res t.ini_mii
     (match t.final_mii with
     | Some m -> "final MII " ^ string_of_int m
     | None -> "FAILED")
     t.ii_used t.legal t.copies t.forwards t.max_wire_load t.explored_states
-    t.routed_moves t.cache_hits
-    (t.cache_hits + t.cache_misses)
-    t.reused_subproblems t.runtime_s
+    t.routed_moves (memo_string t) t.runtime_s
     (match t.error with None -> "" | Some e -> " error: " ^ e)

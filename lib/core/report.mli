@@ -34,6 +34,9 @@ type t = {
   cache_misses : int;
   reused_subproblems : int;
       (** subproblems short-circuited transitively by the hits *)
+  memo_enabled : bool;
+      (** whether the run carried a memo cache at all — lets consumers
+          (and {!pp}) distinguish "memo on, zero hits" from "memo off" *)
   runtime_s : float;  (** wall-clock seconds spent in the whole search *)
   error : string option;
   result : Hierarchy.t option;  (** the winning assignment, for inspection *)
@@ -63,5 +66,10 @@ val header : string list
 
 val row : t -> string list
 (** Paper-style row: loop, N_Instr, MIIRec, MIIRes, legal, final MII. *)
+
+val memo_string : t -> string
+(** The memo figures as printed by {!pp}: ["memo=off"] when the run was
+    made without a cache, ["memo=H/T (reused R)"] otherwise — even when
+    all three counters are zero. *)
 
 val pp : Format.formatter -> t -> unit

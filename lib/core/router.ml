@@ -62,7 +62,7 @@ let route_value state ~value ~src ~dst ~ii ~max_hops =
       commit path;
       true
 
-let assign_with_routing state ~node ~cluster ~ii ~target_ii ~weights ~max_hops =
+let assign_routed state ~node ~cluster ~ii ~target_ii ~weights ~max_hops =
   match State.force_assign state ~node ~cluster ~ii with
   | Error _ as e -> e
   | Ok (state', blocked) ->
@@ -77,3 +77,9 @@ let assign_with_routing state ~node ~cluster ~ii ~target_ii ~weights ~max_hops =
         Ok state'
       end
       else Error "route allocator: no feasible detour"
+
+let assign_with_routing state ~node ~cluster ~ii ~target_ii ~weights ~max_hops
+    =
+  Hca_obs.Obs.count "router.attempt" 1;
+  Hca_obs.Obs.span "router.route" (fun () ->
+      assign_routed state ~node ~cluster ~ii ~target_ii ~weights ~max_hops)

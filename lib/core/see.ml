@@ -71,7 +71,7 @@ type cand =
 
 let cand_cost = function Spec { cost; _ } -> cost | Mat st -> State.cost st
 
-let solve ?(config = Config.default) ?target_ii ?(backbone = []) problem ~ii =
+let solve_traced ~config ?target_ii ~backbone problem ~ii =
   let target_ii = Option.value ~default:ii target_ii in
   let weights = config.Config.weights in
   let order, region_of = priority_order config problem ~ii in
@@ -199,6 +199,10 @@ let solve ?(config = Config.default) ?target_ii ?(backbone = []) problem ~ii =
         | [] -> Error (Problem.name problem ^ ": empty frontier"))
     | node :: rest ->
         let tail_of_region = remaining_region.(pos) in
+        (* Observation only — list lengths are paid when tracing. *)
+        if Hca_obs.Obs.enabled () then
+          Hca_obs.Obs.observe "see.frontier"
+            (float_of_int (List.length frontier));
         let children =
           List.concat_map
             (fun st ->
@@ -206,6 +210,9 @@ let solve ?(config = Config.default) ?target_ii ?(backbone = []) problem ~ii =
                 (expand ~tail_of_region node st))
             frontier
         in
+        if Hca_obs.Obs.enabled () then
+          Hca_obs.Obs.observe "see.children"
+            (float_of_int (List.length children));
         (match children with
         | [] ->
             let pg = Problem.pg problem in
@@ -253,9 +260,18 @@ let solve ?(config = Config.default) ?target_ii ?(backbone = []) problem ~ii =
                  diagnosis)
         | _ ->
             let winners = best_k_cand config.Config.beam_width children in
-            let frontier' =
-              dedup (List.map (materialise ~tail_of_region node) winners)
+            let materialised =
+              List.map (materialise ~tail_of_region node) winners
             in
+            let frontier' = dedup materialised in
+            if Hca_obs.Obs.enabled () then
+              Hca_obs.Obs.count "see.dedup_killed"
+                (List.length materialised - List.length frontier');
             loop (pos + 1) frontier' rest)
   in
   loop 0 [ State.create ~backbone problem ] order
+
+let solve ?(config = Config.default) ?target_ii ?(backbone = []) problem ~ii =
+  Hca_obs.Obs.span "see.solve"
+    ~args:[ ("problem", Problem.name problem); ("ii", string_of_int ii) ]
+    (fun () -> solve_traced ~config ?target_ii ~backbone problem ~ii)

@@ -372,9 +372,11 @@ let speculate_assign t ~node ~cluster ~ii ~target_ii ~weights =
             !touched;
         t.cost_v <- Cost.score weights (aggregate t ~ii:target_ii);
         t.spec <- Some sp;
+        Hca_obs.Obs.count "state.spec_apply" 1;
         Ok ()
       with Blocked m ->
         rollback ();
+        Hca_obs.Obs.count "state.spec_reject" 1;
         Error m
     end
 
@@ -403,7 +405,8 @@ let undo_speculation t =
       t.dem.(sp.sp_cluster) <- sp.sp_dem;
       t.assigned <- t.assigned - 1;
       Copy_flow.undo_to_mark t.flow sp.sp_fmark;
-      t.spec <- None
+      t.spec <- None;
+      Hca_obs.Obs.count "state.spec_undo" 1
 
 let force_assign t ~node ~cluster ~ii =
   let nd = Problem.node t.problem node in

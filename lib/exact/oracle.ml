@@ -28,6 +28,8 @@ let problem_of fabric ddg =
   Problem.of_ddg ~name:(Ddg.name ddg ^ ".exact") ~ddg ~pg ()
 
 let run ?(strict = false) ?(budget_s = 10.) ?max_ii ?(jobs = 1) fabric ddg =
+  Hca_obs.Obs.span "oracle.run" ~args:[ ("kernel", Ddg.name ddg) ]
+  @@ fun () ->
   let t0 = Hca_util.Clock.now () in
   let deadline = t0 +. budget_s in
   let problem = problem_of fabric ddg in
@@ -63,9 +65,13 @@ let run ?(strict = false) ?(budget_s = 10.) ?max_ii ?(jobs = 1) fabric ddg =
     let verdicts =
       Hca_util.Domain_pool.parallel_map ~jobs
         (fun k ->
-          let enc = Encode.encode ~strict inst ~k in
-          let v = Sat.solve ~deadline enc.Encode.sat in
-          (k, v, enc))
+          Hca_obs.Obs.span "oracle.probe"
+            ~args:[ ("k", string_of_int k) ]
+            (fun () ->
+              let enc = Encode.encode ~strict inst ~k in
+              let v = Sat.solve ~deadline enc.Encode.sat in
+              Hca_obs.Obs.count "sat.conflicts" (Sat.conflicts enc.Encode.sat);
+              (k, v, enc)))
         ks
     in
     List.iter

@@ -1,0 +1,379 @@
+type event = {
+  kind : [ `Begin | `End | `Instant | `Count | `Sample ];
+  name : string;
+  ts : float;
+  value : float;
+  args : (string * string) list;
+}
+
+let dummy = { kind = `Instant; name = ""; ts = 0.; value = 0.; args = [] }
+
+(* One buffer per domain, single writer (the owning domain), created on
+   first use and registered once; readers only run at quiescent points,
+   so the buffer needs no per-event synchronisation. *)
+type buf = { dom : int; mutable evs : event array; mutable len : int }
+
+let enabled_flag = Atomic.make false
+
+let enabled () = Atomic.get enabled_flag
+
+let reg_mu = Mutex.create ()
+
+let registry : buf list ref = ref []
+
+let epoch_v = ref 0.
+
+let epoch () = !epoch_v
+
+let buf_key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        { dom = (Domain.self () :> int); evs = Array.make 1024 dummy; len = 0 }
+      in
+      Mutex.lock reg_mu;
+      registry := b :: !registry;
+      Mutex.unlock reg_mu;
+      b)
+
+let push kind name value args =
+  let b = Domain.DLS.get buf_key in
+  if b.len = Array.length b.evs then begin
+    let evs = Array.make (2 * b.len) dummy in
+    Array.blit b.evs 0 evs 0 b.len;
+    b.evs <- evs
+  end;
+  b.evs.(b.len) <- { kind; name; ts = Hca_util.Clock.now (); value; args };
+  b.len <- b.len + 1
+
+let enable () =
+  if not (Atomic.get enabled_flag) then begin
+    Mutex.lock reg_mu;
+    if !epoch_v = 0. then epoch_v := Hca_util.Clock.now ();
+    Mutex.unlock reg_mu;
+    Atomic.set enabled_flag true
+  end
+
+let disable () = Atomic.set enabled_flag false
+
+let reset () =
+  Mutex.lock reg_mu;
+  List.iter (fun b -> b.len <- 0) !registry;
+  epoch_v := Hca_util.Clock.now ();
+  Mutex.unlock reg_mu
+
+let span ?(args = []) name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    push `Begin name 0. args;
+    match f () with
+    | v ->
+        push `End "" 0. [];
+        v
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        push `End "" 0. [];
+        Printexc.raise_with_backtrace e bt
+  end
+
+let instant ?(args = []) name =
+  if Atomic.get enabled_flag then push `Instant name 0. args
+
+let count name d =
+  if Atomic.get enabled_flag then push `Count name (float_of_int d) []
+
+let observe name v = if Atomic.get enabled_flag then push `Sample name v []
+
+let events () =
+  Mutex.lock reg_mu;
+  let bufs = !registry in
+  Mutex.unlock reg_mu;
+  List.sort
+    (fun (a, _) (b, _) -> compare a b)
+    (List.map
+       (fun b -> (b.dom, List.init b.len (fun i -> b.evs.(i))))
+       bufs)
+
+module Summary = struct
+  type phase = {
+    name : string;
+    calls : int;
+    total_s : float;
+    self_s : float;
+    max_s : float;
+  }
+
+  type hist = {
+    h_name : string;
+    samples : int;
+    mean : float;
+    min_v : float;
+    p50 : float;
+    p90 : float;
+    max_v : float;
+  }
+
+  type t = {
+    phases : phase list;
+    counters : (string * int) list;
+    histograms : hist list;
+  }
+
+  let percentile sorted q =
+    let n = Array.length sorted in
+    if n = 0 then 0.
+    else sorted.(int_of_float ((q *. float_of_int (n - 1)) +. 0.5))
+
+  let collect () =
+    let phases : (string, phase) Hashtbl.t = Hashtbl.create 16 in
+    let counters : (string, int) Hashtbl.t = Hashtbl.create 16 in
+    let samples : (string, float list ref) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun (_dom, evs) ->
+        (* Per-domain span stack: (name, start, child-time accumulator).
+           Streams are single-writer, so each nests on its own. *)
+        let stack = ref [] in
+        List.iter
+          (fun e ->
+            match e.kind with
+            | `Begin -> stack := (e.name, e.ts, ref 0.) :: !stack
+            | `End -> (
+                match !stack with
+                | [] -> () (* unmatched end: drop *)
+                | (name, t0, child) :: rest ->
+                    stack := rest;
+                    let dur = max 0. (e.ts -. t0) in
+                    (match rest with
+                    | (_, _, pc) :: _ -> pc := !pc +. dur
+                    | [] -> ());
+                    let prev =
+                      Option.value
+                        ~default:
+                          {
+                            name;
+                            calls = 0;
+                            total_s = 0.;
+                            self_s = 0.;
+                            max_s = 0.;
+                          }
+                        (Hashtbl.find_opt phases name)
+                    in
+                    Hashtbl.replace phases name
+                      {
+                        prev with
+                        calls = prev.calls + 1;
+                        total_s = prev.total_s +. dur;
+                        self_s = prev.self_s +. max 0. (dur -. !child);
+                        max_s = max prev.max_s dur;
+                      })
+            | `Count ->
+                let d = int_of_float e.value in
+                Hashtbl.replace counters e.name
+                  (d + Option.value ~default:0 (Hashtbl.find_opt counters e.name))
+            | `Sample -> (
+                match Hashtbl.find_opt samples e.name with
+                | Some l -> l := e.value :: !l
+                | None -> Hashtbl.add samples e.name (ref [ e.value ]))
+            | `Instant -> ())
+          evs)
+      (events ());
+    let phase_list =
+      Hashtbl.fold (fun _ p acc -> p :: acc) phases []
+      |> List.sort (fun a b ->
+             compare (b.total_s, a.name) (a.total_s, b.name))
+    in
+    let counter_list =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) counters []
+      |> List.sort compare
+    in
+    let hist_list =
+      Hashtbl.fold
+        (fun h_name l acc ->
+          let a = Array.of_list !l in
+          Array.sort compare a;
+          let n = Array.length a in
+          let sum = Array.fold_left ( +. ) 0. a in
+          {
+            h_name;
+            samples = n;
+            mean = (if n = 0 then 0. else sum /. float_of_int n);
+            min_v = (if n = 0 then 0. else a.(0));
+            p50 = percentile a 0.5;
+            p90 = percentile a 0.9;
+            max_v = (if n = 0 then 0. else a.(n - 1));
+          }
+          :: acc)
+        samples []
+      |> List.sort (fun a b -> compare a.h_name b.h_name)
+    in
+    { phases = phase_list; counters = counter_list; histograms = hist_list }
+
+  let phase_s t name =
+    match List.find_opt (fun (p : phase) -> p.name = name) t.phases with
+    | Some p -> p.total_s
+    | None -> 0.
+
+  let counter t name =
+    Option.value ~default:0 (List.assoc_opt name t.counters)
+
+  let ms v = Printf.sprintf "%.3f" (1e3 *. v)
+
+  let print t =
+    let open Hca_util.Tabular in
+    if t.phases <> [] then begin
+      let tab =
+        create
+          [
+            ("phase", Left); ("calls", Right); ("total ms", Right);
+            ("self ms", Right); ("avg ms", Right); ("max ms", Right);
+          ]
+      in
+      List.iter
+        (fun p ->
+          add_row tab
+            [
+              p.name;
+              string_of_int p.calls;
+              ms p.total_s;
+              ms p.self_s;
+              ms (p.total_s /. float_of_int (max 1 p.calls));
+              ms p.max_s;
+            ])
+        t.phases;
+      print tab
+    end;
+    if t.counters <> [] then begin
+      let tab = create [ ("counter", Left); ("value", Right) ] in
+      List.iter
+        (fun (k, v) -> add_row tab [ k; string_of_int v ])
+        t.counters;
+      print_newline ();
+      print tab
+    end;
+    if t.histograms <> [] then begin
+      let tab =
+        create
+          [
+            ("histogram", Left); ("samples", Right); ("min", Right);
+            ("p50", Right); ("p90", Right); ("max", Right); ("mean", Right);
+          ]
+      in
+      let num v = Printf.sprintf "%.1f" v in
+      List.iter
+        (fun h ->
+          add_row tab
+            [
+              h.h_name;
+              string_of_int h.samples;
+              num h.min_v;
+              num h.p50;
+              num h.p90;
+              num h.max_v;
+              num h.mean;
+            ])
+        t.histograms;
+      print_newline ();
+      print tab
+    end
+end
+
+module Trace = struct
+  (* %S is not JSON-safe for control characters (OCaml escapes them in
+     decimal), so escape by hand; names and args here are plain ASCII. *)
+  let escape s =
+    let b = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let args_json args =
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v)) args)
+    ^ "}"
+
+  let to_chrome_json ?(meta = []) () =
+    let b = Buffer.create 65536 in
+    let ep = epoch () in
+    let us ts = Printf.sprintf "%.3f" (1e6 *. (ts -. ep)) in
+    Buffer.add_string b "{\"traceEvents\":[";
+    let first = ref true in
+    let sep () = if !first then first := false else Buffer.add_char b ',' in
+    List.iter
+      (fun (dom, evs) ->
+        sep ();
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"domain-%d\"}}"
+             dom dom);
+        (* Cumulative counter series per (domain, name) so Perfetto can
+           chart rising totals; histogram samples stay raw gauges. *)
+        let totals : (string, float) Hashtbl.t = Hashtbl.create 8 in
+        List.iter
+          (fun e ->
+            match e.kind with
+            | `Begin ->
+                sep ();
+                Buffer.add_string b
+                  (Printf.sprintf
+                     "{\"name\":\"%s\",\"cat\":\"hca\",\"ph\":\"B\",\"pid\":1,\"tid\":%d,\"ts\":%s%s}"
+                     (escape e.name) dom (us e.ts)
+                     (if e.args = [] then ""
+                      else ",\"args\":" ^ args_json e.args))
+            | `End ->
+                sep ();
+                Buffer.add_string b
+                  (Printf.sprintf
+                     "{\"ph\":\"E\",\"pid\":1,\"tid\":%d,\"ts\":%s}" dom
+                     (us e.ts))
+            | `Instant ->
+                sep ();
+                Buffer.add_string b
+                  (Printf.sprintf
+                     "{\"name\":\"%s\",\"cat\":\"hca\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%d,\"ts\":%s%s}"
+                     (escape e.name) dom (us e.ts)
+                     (if e.args = [] then ""
+                      else ",\"args\":" ^ args_json e.args))
+            | `Count ->
+                let t =
+                  e.value
+                  +. Option.value ~default:0. (Hashtbl.find_opt totals e.name)
+                in
+                Hashtbl.replace totals e.name t;
+                sep ();
+                Buffer.add_string b
+                  (Printf.sprintf
+                     "{\"name\":\"%s\",\"ph\":\"C\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"args\":{\"%s\":%g}}"
+                     (escape e.name) dom (us e.ts) (escape e.name) t)
+            | `Sample ->
+                sep ();
+                Buffer.add_string b
+                  (Printf.sprintf
+                     "{\"name\":\"%s\",\"ph\":\"C\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"args\":{\"%s\":%g}}"
+                     (escape e.name) dom (us e.ts) (escape e.name) e.value))
+          evs)
+      (events ());
+    Buffer.add_string b "],\"displayTimeUnit\":\"ms\",\"otherData\":{";
+    Buffer.add_string b
+      (String.concat ","
+         (List.map
+            (fun (k, v) ->
+              Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v))
+            (("tool", "hca") :: meta)));
+    Buffer.add_string b "}}";
+    Buffer.contents b
+
+  let write ?meta path =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (to_chrome_json ?meta ()))
+end

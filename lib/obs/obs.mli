@@ -1,0 +1,108 @@
+(** Domain-safe tracing and metrics.
+
+    Instrumentation points are free to stay in hot paths permanently:
+    when tracing is disabled (the default) every entry point is a single
+    atomic load and a branch — no allocation, no clock read, no lock.
+    When enabled, each domain appends events to its own lock-free buffer
+    (created lazily via [Domain.DLS] and registered once under a mutex),
+    so [Domain_pool] workers trace without contention; the buffers are
+    only merged at flush time by the consumers below.
+
+    Recording never influences the instrumented computation, so search
+    results are bit-identical with tracing on or off, at every [--jobs].
+
+    Protocol: [enable]/[reset]/[events]/[Summary.collect]/[Trace.*] must
+    be called from quiescent points (no traced work in flight); the
+    per-event paths ([span], [count], ...) are safe from any domain. *)
+
+val enabled : unit -> bool
+(** One atomic load; the hot-path guard for any eager argument work. *)
+
+val enable : unit -> unit
+(** Turn recording on.  The first [enable] (or the one following a
+    [reset]) pins the trace epoch all timestamps are relative to. *)
+
+val disable : unit -> unit
+
+val reset : unit -> unit
+(** Drop every buffered event (all domains) and re-arm the epoch. *)
+
+val span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] brackets [f ()] with begin/end events on the calling
+    domain's track.  The end event is recorded even when [f] raises, so
+    per-domain streams always nest well-formedly. *)
+
+val instant : ?args:(string * string) list -> string -> unit
+(** A point event (Chrome "instant"), e.g. a memo hit. *)
+
+val count : string -> int -> unit
+(** [count name d] adds [d] to counter [name].  Merging at flush sums
+    per-domain partials, so totals are independent of domain placement. *)
+
+val observe : string -> float -> unit
+(** [observe name v] appends a sample to histogram [name]. *)
+
+type event = {
+  kind : [ `Begin | `End | `Instant | `Count | `Sample ];
+  name : string;  (** empty for [`End] *)
+  ts : float;  (** absolute wall-clock seconds *)
+  value : float;  (** counter delta / histogram sample; 0 otherwise *)
+  args : (string * string) list;
+}
+
+val events : unit -> (int * event list) list
+(** Per-domain event streams in recording order, sorted by domain id.
+    Raw access for the consumers and the test suite. *)
+
+val epoch : unit -> float
+(** The wall-clock origin of the current trace (0. before [enable]). *)
+
+module Summary : sig
+  type phase = {
+    name : string;
+    calls : int;
+    total_s : float;  (** wall-clock inside spans of this name *)
+    self_s : float;  (** [total_s] minus time inside child spans *)
+    max_s : float;  (** longest single span *)
+  }
+
+  type hist = {
+    h_name : string;
+    samples : int;
+    mean : float;
+    min_v : float;
+    p50 : float;
+    p90 : float;
+    max_v : float;
+  }
+
+  type t = {
+    phases : phase list;  (** sorted by [total_s], largest first *)
+    counters : (string * int) list;  (** sorted by name *)
+    histograms : hist list;  (** sorted by name *)
+  }
+
+  val collect : unit -> t
+  (** Merge every domain's buffer into aggregate tables.  Spans are
+      attributed per domain (each stream nests independently), then
+      summed across domains; unterminated spans are ignored. *)
+
+  val phase_s : t -> string -> float
+  (** Total seconds of the named phase, 0. when absent. *)
+
+  val counter : t -> string -> int
+
+  val print : t -> unit
+  (** Per-phase, counter and histogram tables via {!Hca_util.Tabular}. *)
+end
+
+module Trace : sig
+  val to_chrome_json : ?meta:(string * string) list -> unit -> string
+  (** Chrome trace-event / Perfetto JSON ("traceEvents" array): one
+      thread track per domain (named [domain-<id>]), "B"/"E" pairs for
+      spans, "i" instants, cumulative "C" counter series, and raw "C"
+      gauges for histogram samples.  [meta] lands in ["otherData"]. *)
+
+  val write : ?meta:(string * string) list -> string -> unit
+  (** [write path] saves {!to_chrome_json} to [path]. *)
+end

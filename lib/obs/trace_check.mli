@@ -1,0 +1,30 @@
+(** Validation of the Chrome trace-event JSON {!Obs.Trace} emits, used
+    by the [hca tracecheck] CLI and the test suite.  The parser is a
+    small self-contained JSON reader (no external dependency), general
+    enough for any trace-event file, not just our own output. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+val parse : string -> (json, string) result
+(** Full JSON parser (objects, arrays, strings with escapes, numbers,
+    booleans, null).  Errors carry a character offset. *)
+
+type stats = {
+  events : int;  (** total entries in ["traceEvents"] *)
+  tracks : (int * int) list;  (** completed span count per tid *)
+  span_names : (string * int) list;  (** completed span count per name *)
+}
+
+val validate : string -> (stats, string) result
+(** Checks that [s] parses, has a ["traceEvents"] array whose entries
+    are objects with a ["ph"] string (and ["ts"]/["tid"] where the
+    phase requires them), and that every track's "B"/"E" events are
+    balanced and properly nested. *)
+
+val validate_file : string -> (stats, string) result

@@ -1,0 +1,10 @@
+(** Run-identification stamps, so bench NDJSON rows and trace files can
+    be correlated after the fact. *)
+
+val git_describe : unit -> string
+(** [git describe --always --dirty] of the working tree, computed once;
+    ["unknown"] when git or the repository is unavailable. *)
+
+val hash : 'a -> string
+(** Stable-in-process structural fingerprint as 8 hex digits, for
+    tagging rows with the configuration they were produced under. *)

@@ -1,0 +1,221 @@
+(* Tests for the lib/obs tracing layer: per-domain stream
+   well-formedness under the domain pool, counter merge associativity,
+   histogram percentile sanity, the no-observer-effect property of the
+   instrumented search, and the Chrome-trace export format. *)
+
+open Hca_obs
+
+let fabric = Hca_machine.Dspfabric.reference
+
+(* Every test drives the global tracer, so each one owns the full
+   enable→work→disable cycle and always releases it on exit. *)
+let with_tracing f =
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect ~finally:Obs.disable f
+
+(* ------------------------------------------------------------------ *)
+(* Span streams nest well-formedly per domain under parallel_map.       *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting_parallel () =
+  let items = List.init 20 Fun.id in
+  let results =
+    with_tracing (fun () ->
+        Hca_util.Domain_pool.parallel_map ~jobs:4
+          (fun i ->
+            Obs.span "outer"
+              ~args:[ ("i", string_of_int i) ]
+              (fun () -> Obs.span "inner" (fun () -> i * i)))
+          items)
+  in
+  Alcotest.(check (list int))
+    "computation unaffected"
+    (List.map (fun i -> i * i) items)
+    results;
+  let outer = ref 0 and inner = ref 0 in
+  List.iter
+    (fun (dom, evs) ->
+      let depth = ref 0 in
+      List.iter
+        (fun (e : Obs.event) ->
+          match e.Obs.kind with
+          | `Begin ->
+              incr depth;
+              if e.Obs.name = "outer" then incr outer;
+              if e.Obs.name = "inner" then incr inner
+          | `End ->
+              if !depth <= 0 then
+                Alcotest.failf "domain %d: End with empty span stack" dom;
+              decr depth
+          | _ -> ())
+        evs;
+      Alcotest.(check int)
+        (Printf.sprintf "domain %d stream balanced" dom)
+        0 !depth)
+    (Obs.events ());
+  Alcotest.(check int) "one outer span per item" (List.length items) !outer;
+  Alcotest.(check int) "one inner span per item" (List.length items) !inner
+
+let test_span_survives_exception () =
+  with_tracing (fun () ->
+      (try Obs.span "boom" (fun () -> failwith "expected") with
+      | Failure _ -> ());
+      let evs = List.concat_map snd (Obs.events ()) in
+      let begins =
+        List.length (List.filter (fun e -> e.Obs.kind = `Begin) evs)
+      in
+      let ends = List.length (List.filter (fun e -> e.Obs.kind = `End) evs) in
+      Alcotest.(check int) "begin recorded" 1 begins;
+      Alcotest.(check int) "end recorded despite raise" 1 ends)
+
+(* ------------------------------------------------------------------ *)
+(* Counter merge: per-domain partials sum to the sequential total.      *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_merge () =
+  let expected = List.fold_left ( + ) 0 (List.init 100 Fun.id) in
+  with_tracing (fun () ->
+      ignore
+        (Hca_util.Domain_pool.parallel_map ~jobs:4
+           (fun i ->
+             Obs.count "c" i;
+             i)
+           (List.init 100 Fun.id));
+      let s = Obs.Summary.collect () in
+      Alcotest.(check int)
+        "total independent of domain placement" expected
+        (Obs.Summary.counter s "c");
+      Alcotest.(check int) "absent counter reads 0" 0
+        (Obs.Summary.counter s "nope"))
+
+(* ------------------------------------------------------------------ *)
+(* Histogram percentiles.                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_histogram_percentiles () =
+  with_tracing (fun () ->
+      List.iter
+        (fun i -> Obs.observe "h" (float_of_int i))
+        (List.init 100 (fun i -> i + 1));
+      let s = Obs.Summary.collect () in
+      match
+        List.find_opt
+          (fun h -> h.Obs.Summary.h_name = "h")
+          s.Obs.Summary.histograms
+      with
+      | None -> Alcotest.fail "histogram 'h' missing from summary"
+      | Some h ->
+          Alcotest.(check int) "samples" 100 h.Obs.Summary.samples;
+          Alcotest.(check (float 1e-9)) "min" 1. h.Obs.Summary.min_v;
+          Alcotest.(check (float 1e-9)) "max" 100. h.Obs.Summary.max_v;
+          Alcotest.(check (float 0.5)) "mean" 50.5 h.Obs.Summary.mean;
+          let within lo hi v = v >= lo && v <= hi in
+          Alcotest.(check bool) "p50 near median" true
+            (within 45. 55. h.Obs.Summary.p50);
+          Alcotest.(check bool) "p90 near 90th" true
+            (within 85. 95. h.Obs.Summary.p90))
+
+(* ------------------------------------------------------------------ *)
+(* No observer effect: Report.run is bit-identical traced or not.       *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything except the wall clock and the (structurally equal but
+   allocation-fresh) result payload. *)
+let fingerprint (r : Hca_core.Report.t) =
+  ( ( r.Hca_core.Report.kernel,
+      r.Hca_core.Report.n_instr,
+      r.Hca_core.Report.mii_rec,
+      r.Hca_core.Report.mii_res,
+      r.Hca_core.Report.ini_mii,
+      r.Hca_core.Report.legal,
+      r.Hca_core.Report.final_mii,
+      r.Hca_core.Report.ii_used ),
+    ( r.Hca_core.Report.copies,
+      r.Hca_core.Report.forwards,
+      r.Hca_core.Report.max_wire_load,
+      r.Hca_core.Report.explored_states,
+      r.Hca_core.Report.routed_moves,
+      r.Hca_core.Report.cache_hits,
+      r.Hca_core.Report.cache_misses,
+      r.Hca_core.Report.reused_subproblems ) )
+
+let test_trace_no_observer_effect () =
+  let ddg = Hca_kernels.Fir2dim.ddg () in
+  List.iter
+    (fun jobs ->
+      let plain = Hca_core.Report.run ~jobs fabric ddg in
+      let traced =
+        with_tracing (fun () -> Hca_core.Report.run ~jobs fabric ddg)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "identical search at jobs=%d" jobs)
+        true
+        (fingerprint plain = fingerprint traced))
+    [ 1; 2 ]
+
+(* ------------------------------------------------------------------ *)
+(* Chrome-trace export: parses, balances, and names the spans.          *)
+(* ------------------------------------------------------------------ *)
+
+let test_chrome_trace_valid () =
+  let ddg = Hca_kernels.Fir2dim.ddg () in
+  let json =
+    with_tracing (fun () ->
+        ignore (Hca_core.Report.run fabric ddg);
+        Obs.Trace.to_chrome_json ~meta:[ ("origin", "test_obs") ] ())
+  in
+  match Trace_check.validate json with
+  | Error e -> Alcotest.failf "invalid Chrome trace: %s" e
+  | Ok stats ->
+      Alcotest.(check bool) "has events" true (stats.Trace_check.events > 0);
+      Alcotest.(check bool)
+        "at least one domain track" true
+        (List.length stats.Trace_check.tracks >= 1);
+      List.iter
+        (fun name ->
+          match List.assoc_opt name stats.Trace_check.span_names with
+          | Some n when n > 0 -> ()
+          | _ -> Alcotest.failf "expected span %S in the trace" name)
+        [ "report.run"; "hierarchy.solve"; "subproblem.L0"; "see.solve" ]
+
+let test_chrome_trace_rejects_garbage () =
+  (match Trace_check.validate "{\"traceEvents\":" with
+  | Ok _ -> Alcotest.fail "truncated JSON accepted"
+  | Error _ -> ());
+  match
+    Trace_check.validate
+      "{\"traceEvents\":[{\"ph\":\"E\",\"ts\":0,\"pid\":1,\"tid\":1}]}"
+  with
+  | Ok _ -> Alcotest.fail "unbalanced E accepted"
+  | Error _ -> ()
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "nesting under parallel_map" `Quick
+            test_span_nesting_parallel;
+          Alcotest.test_case "end recorded on exception" `Quick
+            test_span_survives_exception;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter merge associativity" `Quick
+            test_counter_merge;
+          Alcotest.test_case "histogram percentiles" `Quick
+            test_histogram_percentiles;
+        ] );
+      ( "no-observer-effect",
+        [
+          Alcotest.test_case "Report.run bit-identical traced/untraced"
+            `Quick test_trace_no_observer_effect;
+        ] );
+      ( "chrome-trace",
+        [
+          Alcotest.test_case "export validates" `Quick test_chrome_trace_valid;
+          Alcotest.test_case "checker rejects garbage" `Quick
+            test_chrome_trace_rejects_garbage;
+        ] );
+    ]
