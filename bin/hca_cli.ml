@@ -593,6 +593,92 @@ let exact_cmd =
       const run $ kernel_arg $ fabric_term $ budget $ strict $ max_ii
       $ jobs_term $ no_hca $ trace_arg)
 
+let fuzz_cmd =
+  let module G = Hca_gen.Gen in
+  let run seed count minimize corpus replay gap jobs verbose max_size =
+    let log = print_endline in
+    match replay with
+    | Some dir ->
+        let opts = { Hca_gen.Corpus.replay_opts with Hca_gen.Diff.jobs } in
+        let total, bad = Hca_gen.Fuzz.replay_dir ~opts ~log dir in
+        Printf.printf "replayed %d reproducers, %d mismatches\n" total bad;
+        if bad > 0 then exit 1
+    | None ->
+        let opts = { Hca_gen.Diff.default_opts with Hca_gen.Diff.jobs } in
+        let ddg_knobs =
+          match max_size with
+          | None -> G.default_ddg_knobs
+          | Some m ->
+              {
+                G.default_ddg_knobs with
+                G.max_size = m;
+                min_size = min m G.default_ddg_knobs.G.min_size;
+              }
+        in
+        let stats =
+          Hca_gen.Fuzz.run ~opts ~ddg_knobs ~minimize ~corpus_dir:corpus
+            ?gap_threshold:gap ~verbose ~log ~seed ~count ()
+        in
+        if stats.Hca_gen.Fuzz.failed > 0 then exit 1
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"S" ~doc:"First seed of the campaign.")
+  in
+  let count =
+    Arg.(
+      value & opt int 100
+      & info [ "count" ] ~docv:"N" ~doc:"Number of seeds to fuzz.")
+  in
+  let minimize =
+    Arg.(
+      value & flag
+      & info [ "minimize" ]
+          ~doc:"Shrink every finding to a minimal reproducer and write it \
+                to the corpus directory.")
+  in
+  let corpus =
+    Arg.(
+      value & opt string "test/corpus"
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Where minimized reproducers are written.")
+  in
+  let replay =
+    Arg.(
+      value & opt (some string) None
+      & info [ "replay" ] ~docv:"DIR"
+          ~doc:"Replay every reproducer in $(docv) instead of fuzzing; \
+                exits non-zero on any verdict mismatch.")
+  in
+  let gap =
+    Arg.(
+      value & opt (some int) None
+      & info [ "find-gap" ] ~docv:"G"
+          ~doc:"Also report (and shrink) instances whose proven optimality \
+                gap reaches $(docv) — mines heuristic-miss regression \
+                instances.")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose" ] ~doc:"Print the verdict line of passing seeds too.")
+  in
+  let max_size =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-size" ] ~docv:"N"
+          ~doc:"Cap the generated kernel size (default 24).")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential fuzzing: random kernels and machines through the \
+             whole pipeline, cross-checked against the coherency checker, \
+             the SAT oracle and the machine simulator")
+    Term.(
+      const run $ seed $ count $ minimize $ corpus $ replay $ gap $ jobs_term
+      $ verbose $ max_size)
+
 let list_cmd =
   let run () =
     let table1 = List.sort compare Registry.names in
@@ -610,4 +696,4 @@ let () =
     Cmd.info "hca" ~version:"1.0.0"
       ~doc:"Hierarchical Cluster Assignment for DSPFabric (IPPS 2007 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ stats_cmd; run_cmd; profile_cmd; tracecheck_cmd; exact_cmd; table1_cmd; dot_cmd; explain_cmd; level0_cmd; topology_cmd; sched_cmd; simulate_cmd; portfolio_cmd; rcp_cmd; list_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ stats_cmd; run_cmd; profile_cmd; tracecheck_cmd; exact_cmd; table1_cmd; dot_cmd; explain_cmd; level0_cmd; topology_cmd; sched_cmd; simulate_cmd; portfolio_cmd; rcp_cmd; fuzz_cmd; list_cmd ]))

@@ -61,17 +61,28 @@ let expand (res : Hierarchy.t) =
         ~latency:(Opcode.latency producer.Instr.opcode + max 1 hops)
         ~src:value ~dst:mov)
     res.Hierarchy.forwards;
-  (* One receive per (value, consuming CN), shared by all the consumers
-     of the value on that CN. *)
+  (* One receive per (value, consuming CN, carried distance), shared by
+     all the consumers of the value on that CN at that distance.  The
+     loop-carried distance travels on the producer->receive transport
+     edge: the receive then observes exactly what the consumer would
+     have read from the producer — including the pre-loop initial value
+     of the {e producer} node, which is what keeps the machine
+     execution bit-identical to the reference interpretation during the
+     first [distance] iterations. *)
   let recvs = Hashtbl.create 32 in
-  let recv_of value dst_cn =
-    match Hashtbl.find_opt recvs (value, dst_cn) with
+  let recv_of value dst_cn distance =
+    match Hashtbl.find_opt recvs (value, dst_cn, distance) with
     | Some r -> r
     | None ->
         let producer = Ddg.instr ddg value in
         let r =
           Ddg.Builder.add_instr b
-            ~name:(Printf.sprintf "rcv_%s@%d" producer.Instr.name dst_cn)
+            ~name:
+              (if distance = 0 then
+                 Printf.sprintf "rcv_%s@%d" producer.Instr.name dst_cn
+               else
+                 Printf.sprintf "rcv_%s@%d~%d" producer.Instr.name dst_cn
+                   distance)
             Opcode.Recv
         in
         ignore (Hca_util.Vec.push cns dst_cn);
@@ -81,8 +92,8 @@ let expand (res : Hierarchy.t) =
         in
         Ddg.Builder.add_dep b
           ~latency:(Opcode.latency producer.Instr.opcode + hops)
-          ~src:value ~dst:r;
-        Hashtbl.replace recvs (value, dst_cn) r;
+          ~distance ~src:value ~dst:r;
+        Hashtbl.replace recvs (value, dst_cn, distance) r;
         r
   in
   Ddg.iter_edges
@@ -93,11 +104,9 @@ let expand (res : Hierarchy.t) =
         Ddg.Builder.add_dep b ~latency:e.latency ~distance:e.distance
           ~src:e.src ~dst:e.dst
       else begin
-        let r = recv_of e.src dst_cn in
-        (* The carried distance stays on the transport edge; the local
-           hand-off costs one cycle. *)
-        Ddg.Builder.add_dep b ~latency:1 ~distance:e.distance ~src:r
-          ~dst:e.dst
+        let r = recv_of e.src dst_cn e.distance in
+        (* The local hand-off is intra-iteration and costs one cycle. *)
+        Ddg.Builder.add_dep b ~latency:1 ~src:r ~dst:e.dst
       end)
     ddg;
   ignore n;

@@ -4,11 +4,14 @@
 
     The expanded DDG is what the modulo scheduler consumes: every
     inter-CN dependence is split through an explicit [Recv] on the
-    consumer's CN (one per value and destination, shared by all its
-    consumers there), and every value the Route Allocator detoured gets
-    its forwarding [Mov] on the intermediate CN.  Transport latency is
-    charged on the producer->receive edge, one cycle per hierarchy level
-    the value crosses upward and downward. *)
+    consumer's CN (one per value, destination and carried distance,
+    shared by all its consumers there), and every value the Route
+    Allocator detoured gets its forwarding [Mov] on the intermediate
+    CN.  Transport latency {e and} the loop-carried distance are
+    charged on the producer->receive edge — keeping the distance on the
+    transport side is what preserves the pre-loop initial values of the
+    reference semantics — one extra cycle per hierarchy level the value
+    crosses upward and downward. *)
 
 open Hca_ddg
 

@@ -228,6 +228,34 @@ let row t =
     (match t.final_mii with Some m -> string_of_int m | None -> "-");
   ]
 
+let invariant_string t =
+  (* Everything a correct run determines uniquely: quality figures plus
+     a digest of the actual placement.  Deliberately excludes
+     [runtime_s] (wall clock), the memo counters (zero when the memo is
+     off) and [memo_enabled], so the same string must come back at any
+     [--jobs], memo on/off, traced or untraced. *)
+  let placement =
+    match t.result with
+    | None -> 0
+    | Some r ->
+        let sig_ = Hca_util.Sig_hash.create () in
+        Hca_util.Sig_hash.add_int_array sig_ r.Hierarchy.cn_of_instr;
+        List.iter
+          (fun (v, cn) ->
+            Hca_util.Sig_hash.add_int sig_ v;
+            Hca_util.Sig_hash.add_int sig_ cn)
+          r.Hierarchy.forwards;
+        Hca_util.Sig_hash.value sig_
+  in
+  Printf.sprintf
+    "legal=%b final=%s ii=%d copies=%d forwards=%d wire=%d explored=%d \
+     routed=%d placement=%x error=%s"
+    t.legal
+    (match t.final_mii with Some m -> string_of_int m | None -> "-")
+    t.ii_used t.copies t.forwards t.max_wire_load t.explored_states
+    t.routed_moves placement
+    (match t.error with None -> "-" | Some e -> e)
+
 (* The memo figures print even when every counter is zero — a zero line
    must still read as "memo on, nothing reusable", never be mistaken
    for the memo being off, so the disabled case is labelled. *)

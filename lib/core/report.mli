@@ -67,6 +67,14 @@ val header : string list
 val row : t -> string list
 (** Paper-style row: loop, N_Instr, MIIRec, MIIRes, legal, final MII. *)
 
+val invariant_string : t -> string
+(** Canonical one-line rendering of every field a correct run
+    determines uniquely — the quality figures plus an FNV digest of the
+    committed placement and forwards.  Excludes the wall clock, the
+    memo counters and [memo_enabled], so the differential fuzz harness
+    asserts this string is bit-identical at every [jobs], memo on/off,
+    traced or untraced. *)
+
 val memo_string : t -> string
 (** The memo figures as printed by {!pp}: ["memo=off"] when the run was
     made without a cache, ["memo=H/T (reused R)"] otherwise — even when

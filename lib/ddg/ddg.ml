@@ -141,6 +141,20 @@ let induced g ids =
     g.edges;
   (Builder.freeze b, ids)
 
+let filter_edges g p =
+  let b = Builder.create ~name:g.name () in
+  Array.iter
+    (fun (i : Instr.t) ->
+      ignore (Builder.add_instr b ~name:i.Instr.name i.Instr.opcode))
+    g.instrs;
+  Array.iter
+    (fun e ->
+      if p e then
+        Builder.add_dep b ~distance:e.distance ~latency:e.latency ~src:e.src
+          ~dst:e.dst)
+    g.edges;
+  Builder.freeze b
+
 let edge_key e = (e.src, e.dst, e.latency, e.distance)
 
 let equal_structure a b =
@@ -152,6 +166,13 @@ let equal_structure a b =
   &&
   let sort es = List.sort compare (List.map edge_key (Array.to_list es)) in
   sort a.edges = sort b.edges
+
+let equal_exact a b =
+  a.name = b.name
+  && equal_structure a b
+  && Array.for_all2
+       (fun (x : Instr.t) (y : Instr.t) -> x.name = y.name)
+       a.instrs b.instrs
 
 let pp ppf g =
   Format.fprintf ppf "@[<v>ddg %s (%d instrs, %d edges)" g.name (size g)

@@ -83,9 +83,19 @@ val induced : t -> Instr.id list -> t * Instr.id array
     endpoints inside), plus the mapping from new ids to original ids.
     Instruction names are preserved. *)
 
+val filter_edges : t -> (edge -> bool) -> t
+(** [filter_edges g p] rebuilds the graph keeping only the edges
+    satisfying [p] (instructions, opcodes and names preserved).  An
+    edge subset of a well-formed graph is always well-formed, so this
+    never raises; used by the fuzz shrinker. *)
+
 val equal_structure : t -> t -> bool
 (** Same instruction opcodes (in id order) and same edge set — used by
     serialisation round-trip tests. *)
+
+val equal_exact : t -> t -> bool
+(** {!equal_structure} plus graph and instruction names: the full
+    [parse ∘ print = id] contract of {!Ddg_io}. *)
 
 val pp : Format.formatter -> t -> unit
 (** Multi-line summary listing every instruction with its dependences. *)

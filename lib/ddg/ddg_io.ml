@@ -1,10 +1,58 @@
+(* Names are free-form strings; the format is whitespace-separated.  A
+   name with a space would be re-parsed as a different name (multiple
+   spaces collapse), an empty name as "no name" (re-defaulted to
+   ["%<id>"]), so the printer escapes: [' '] -> ["\_"], ['\\'] ->
+   ["\\\\"], newline/CR/tab -> ["\n"]/["\r"]/["\t"], and the empty
+   name prints as the marker ["\-"].  Legacy files contain no
+   backslashes, so unescaping is the identity on them. *)
+let escape_name s =
+  if s = "" then "\\-"
+  else begin
+    let buf = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | ' ' -> Buffer.add_string buf "\\_"
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  end
+
+let unescape_name s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (if s.[!i] = '\\' && !i + 1 < n then begin
+       (match s.[!i + 1] with
+       | '_' -> Buffer.add_char buf ' '
+       | '\\' -> Buffer.add_char buf '\\'
+       | 'n' -> Buffer.add_char buf '\n'
+       | 'r' -> Buffer.add_char buf '\r'
+       | 't' -> Buffer.add_char buf '\t'
+       | '-' -> () (* the empty-name marker contributes nothing *)
+       | c ->
+           Buffer.add_char buf '\\';
+           Buffer.add_char buf c);
+       incr i
+     end
+     else Buffer.add_char buf s.[!i]);
+    incr i
+  done;
+  Buffer.contents buf
+
 let to_string g =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf ("ddg " ^ Ddg.name g ^ "\n");
+  Buffer.add_string buf ("ddg " ^ escape_name (Ddg.name g) ^ "\n");
   Array.iter
     (fun (i : Instr.t) ->
       Buffer.add_string buf
-        (Printf.sprintf "i %d %s %s\n" i.id (Opcode.mnemonic i.opcode) i.name))
+        (Printf.sprintf "i %d %s %s\n" i.id (Opcode.mnemonic i.opcode)
+           (escape_name i.name)))
     (Ddg.instrs g);
   Array.iter
     (fun (e : Ddg.edge) ->
@@ -30,7 +78,7 @@ let of_string s =
           in
           match fields with
           | "ddg" :: rest ->
-              let name = String.concat " " rest in
+              let name = unescape_name (String.concat " " rest) in
               if !b <> None then
                 raise (Fail (err lineno "duplicate ddg header"))
               else b := Some (Ddg.Builder.create ~name ())
@@ -41,7 +89,9 @@ let of_string s =
               | _, _, None -> raise (Fail (err lineno ("bad opcode " ^ mnem)))
               | Some b, Some id, Some op ->
                   let name =
-                    match rest with [] -> None | _ -> Some (String.concat " " rest)
+                    match rest with
+                    | [] -> None
+                    | _ -> Some (unescape_name (String.concat " " rest))
                   in
                   let got = Ddg.Builder.add_instr b ?name op in
                   if got <> id then

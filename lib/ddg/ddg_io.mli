@@ -7,7 +7,12 @@
     i <id> <mnemonic> <name>
     e <src> <dst> <latency> <distance>
     v}
-    Instruction ids must be dense and in order (the parser checks). *)
+    Instruction ids must be dense and in order (the parser checks).
+    Names are escaped so that [parse ∘ print = id] holds {e exactly}
+    (names included, {!Ddg.equal_exact}): spaces print as ["\_"],
+    backslashes double, newline/CR/tab print as ["\n"]/["\r"]/["\t"],
+    and an empty name prints as the marker ["\-"].  Files written
+    before the escaping (no backslashes) parse unchanged. *)
 
 val to_string : Ddg.t -> string
 

@@ -27,7 +27,8 @@ let problem_of fabric ddg =
   in
   Problem.of_ddg ~name:(Ddg.name ddg ^ ".exact") ~ddg ~pg ()
 
-let run ?(strict = false) ?(budget_s = 10.) ?max_ii ?(jobs = 1) fabric ddg =
+let run ?(strict = false) ?(budget_s = 10.) ?max_conflicts ?max_ii ?(jobs = 1)
+    fabric ddg =
   Hca_obs.Obs.span "oracle.run" ~args:[ ("kernel", Ddg.name ddg) ]
   @@ fun () ->
   let t0 = Hca_util.Clock.now () in
@@ -69,7 +70,7 @@ let run ?(strict = false) ?(budget_s = 10.) ?max_ii ?(jobs = 1) fabric ddg =
             ~args:[ ("k", string_of_int k) ]
             (fun () ->
               let enc = Encode.encode ~strict inst ~k in
-              let v = Sat.solve ~deadline enc.Encode.sat in
+              let v = Sat.solve ~deadline ?max_conflicts enc.Encode.sat in
               Hca_obs.Obs.count "sat.conflicts" (Sat.conflicts enc.Encode.sat);
               (k, v, enc)))
         ks
@@ -123,7 +124,7 @@ let run ?(strict = false) ?(budget_s = 10.) ?max_ii ?(jobs = 1) fabric ddg =
     error =
       (match (!error, !timed_out) with
       | (Some _ as e), _ -> e
-      | None, true -> Some "time budget exhausted"
+      | None, true -> Some "search budget exhausted"
       | None, false -> None);
   }
 

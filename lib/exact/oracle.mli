@@ -47,6 +47,7 @@ val problem_of : Dspfabric.t -> Ddg.t -> Problem.t
 val run :
   ?strict:bool ->
   ?budget_s:float ->
+  ?max_conflicts:int ->
   ?max_ii:int ->
   ?jobs:int ->
   Dspfabric.t ->
@@ -56,6 +57,12 @@ val run :
     [strict] adds the structural MUX/wire clauses (see {!Encode});
     [max_ii] caps the search range (default: the instance size, whose
     all-on-one-CN assignment is always feasible).
+
+    [max_conflicts] bounds each probe's solver by a {e conflict} count
+    instead of the wall clock: with [budget_s = infinity] and a
+    conflict budget the whole oracle verdict (status, bounds, model)
+    is a pure function of the instance — what the differential fuzz
+    harness needs so that every printed verdict replays verbatim.
 
     [jobs] (default 1) probes that many MII bounds concurrently per
     search round, each with its own solver instance, turning the binary

@@ -1,0 +1,225 @@
+open Hca_ddg
+open Hca_machine
+
+type expectation = Expect_ok | Expect_fail of string | Expect_gap of int
+
+type entry = { name : string; instance : Gen.instance; expect : expectation }
+
+let ( let* ) = Result.bind
+
+let fabric_to_string fabric =
+  Printf.sprintf "fanouts=%s n=%d m=%d k=%d cn_in=%d dma=%d"
+    (String.concat ","
+       (List.map string_of_int (Array.to_list (Gen.fanouts_of fabric))))
+    (Dspfabric.n fabric) (Dspfabric.m fabric) (Dspfabric.k fabric)
+    (Gen.cn_in_wires_of fabric)
+    (Dspfabric.dma_ports fabric)
+
+let fabric_of_string s =
+  let fields =
+    String.split_on_char ' ' (String.trim s)
+    |> List.filter (fun f -> f <> "")
+  in
+  let tbl = Hashtbl.create 8 in
+  let* () =
+    List.fold_left
+      (fun acc kv ->
+        let* () = acc in
+        match String.index_opt kv '=' with
+        | None -> Error ("fabric: malformed field " ^ kv)
+        | Some i ->
+            Hashtbl.replace tbl (String.sub kv 0 i)
+              (String.sub kv (i + 1) (String.length kv - i - 1));
+            Ok ())
+      (Ok ()) fields
+  in
+  let int_field key =
+    match Hashtbl.find_opt tbl key with
+    | None -> Error ("fabric: missing " ^ key)
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some i -> Ok i
+        | None -> Error ("fabric: bad integer for " ^ key))
+  in
+  let* fanouts =
+    match Hashtbl.find_opt tbl "fanouts" with
+    | None -> Error "fabric: missing fanouts"
+    | Some v -> (
+        let parts = String.split_on_char ',' v in
+        match
+          List.fold_left
+            (fun acc p ->
+              match (acc, int_of_string_opt p) with
+              | Some l, Some i -> Some (i :: l)
+              | _ -> None)
+            (Some []) parts
+        with
+        | Some l -> Ok (Array.of_list (List.rev l))
+        | None -> Error "fabric: bad fanouts list")
+  in
+  let* n = int_field "n" in
+  let* m = int_field "m" in
+  let* k = int_field "k" in
+  let* cn_in = int_field "cn_in" in
+  let* dma = int_field "dma" in
+  try Ok (Dspfabric.make ~fanouts ~cn_in_wires:cn_in ~dma_ports:dma ~n ~m ~k ())
+  with Invalid_argument e -> Error e
+
+let expectation_to_string = function
+  | Expect_ok -> "ok"
+  | Expect_fail check -> "fail:" ^ check
+  | Expect_gap g -> "gap:" ^ string_of_int g
+
+let expectation_of_string s =
+  match String.trim s with
+  | "ok" -> Ok Expect_ok
+  | s when String.length s > 5 && String.sub s 0 5 = "fail:" ->
+      Ok (Expect_fail (String.sub s 5 (String.length s - 5)))
+  | s when String.length s > 4 && String.sub s 0 4 = "gap:" -> (
+      match int_of_string_opt (String.sub s 4 (String.length s - 4)) with
+      | Some g -> Ok (Expect_gap g)
+      | None -> Error ("expect: bad gap " ^ s))
+  | s -> Error ("expect: unknown verdict " ^ s)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let write ~dir ~name (inst : Gen.instance) expect =
+  mkdir_p dir;
+  Ddg_io.write_file (Filename.concat dir (name ^ ".ddg")) inst.Gen.ddg;
+  let oc = open_out (Filename.concat dir (name ^ ".repro")) in
+  Printf.fprintf oc "# hca fuzz reproducer; replay with: hca fuzz --replay %s\n"
+    dir;
+  Printf.fprintf oc "seed %d\n" inst.Gen.seed;
+  Printf.fprintf oc "ddg %s.ddg\n" name;
+  Printf.fprintf oc "fabric %s\n" (fabric_to_string inst.Gen.fabric);
+  Printf.fprintf oc "expect %s\n" (expectation_to_string expect);
+  close_out oc
+
+let read path =
+  let* lines =
+    try
+      let ic = open_in path in
+      let rec loop acc =
+        match input_line ic with
+        | line -> loop (line :: acc)
+        | exception End_of_file ->
+            close_in ic;
+            List.rev acc
+      in
+      Ok (loop [])
+    with Sys_error e -> Error e
+  in
+  let name = Filename.remove_extension (Filename.basename path) in
+  let seed = ref None and ddg_file = ref None in
+  let fabric = ref None and expect = ref None in
+  let* () =
+    List.fold_left
+      (fun acc line ->
+        let* () = acc in
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then Ok ()
+        else
+          let key, rest =
+            match String.index_opt line ' ' with
+            | None -> (line, "")
+            | Some i ->
+                ( String.sub line 0 i,
+                  String.trim
+                    (String.sub line (i + 1) (String.length line - i - 1)) )
+          in
+          match key with
+          | "seed" -> (
+              match int_of_string_opt rest with
+              | Some s ->
+                  seed := Some s;
+                  Ok ()
+              | None -> Error (path ^ ": bad seed line"))
+          | "ddg" ->
+              ddg_file := Some rest;
+              Ok ()
+          | "fabric" ->
+              let* f = fabric_of_string rest in
+              fabric := Some f;
+              Ok ()
+          | "expect" ->
+              let* e = expectation_of_string rest in
+              expect := Some e;
+              Ok ()
+          | _ -> Error (path ^ ": unknown record " ^ key))
+      (Ok ()) lines
+  in
+  let require what = function
+    | Some v -> Ok v
+    | None -> Error (path ^ ": missing " ^ what ^ " line")
+  in
+  let* seed = require "seed" !seed in
+  let* ddg_file = require "ddg" !ddg_file in
+  let* fabric = require "fabric" !fabric in
+  let* expect = require "expect" !expect in
+  let* ddg = Ddg_io.read_file (Filename.concat (Filename.dirname path) ddg_file) in
+  Ok { name; instance = { Gen.seed; ddg; fabric }; expect }
+
+let load_dir dir =
+  let* files =
+    try Ok (Sys.readdir dir) with Sys_error e -> Error e
+  in
+  let repros =
+    Array.to_list files
+    |> List.filter (fun f -> Filename.check_suffix f ".repro")
+    |> List.sort compare
+  in
+  List.fold_left
+    (fun acc f ->
+      let* entries = acc in
+      let* e = read (Filename.concat dir f) in
+      Ok (e :: entries))
+    (Ok []) repros
+  |> Result.map List.rev
+
+(* Replay lifts the oracle caps: a gap expectation must be
+   re-certified by the solver, not merely remembered, so the corpus
+   keeps honest when the heuristic improves. *)
+let replay_opts =
+  {
+    Diff.default_opts with
+    oracle_size_cap = max_int;
+    oracle_cn_cap = max_int;
+    oracle_conflicts = 200_000;
+  }
+
+let replay ?(opts = replay_opts) entry =
+  let d = Diff.run ~opts entry.instance in
+  let line = Diff.verdict_line d in
+  match entry.expect with
+  | Expect_ok ->
+      if d.Diff.failures = [] then Ok line
+      else Error (Printf.sprintf "%s: expected ok, got: %s" entry.name line)
+  | Expect_fail check ->
+      if List.exists (fun f -> f.Diff.check = check) d.Diff.failures then
+        Ok line
+      else
+        Error
+          (Printf.sprintf "%s: expected a %s failure, got: %s" entry.name
+             check line)
+  | Expect_gap g -> (
+      match Diff.gap d with
+      | Some got when got = g && d.Diff.failures = [] -> Ok line
+      | Some got when got <> g ->
+          Error
+            (Printf.sprintf
+               "%s: optimality gap changed: expected %d, got %d — the \
+                heuristic %s on this instance; update the corpus entry"
+               entry.name g got
+               (if got < g then "improved" else "regressed"))
+      | Some _ ->
+          Error
+            (Printf.sprintf "%s: gap matches but checks failed: %s" entry.name
+               line)
+      | None ->
+          Error
+            (Printf.sprintf "%s: oracle no longer proves the optimum: %s"
+               entry.name line))

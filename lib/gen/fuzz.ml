@@ -1,0 +1,136 @@
+type stats = {
+  mutable instances : int;
+  mutable ok : int;
+  mutable infeasible : int;
+  mutable failed : int;
+  mutable minimized : int;
+  mutable oracle_checked : int;
+  mutable oracle_skipped : int;
+  mutable oracle_optimal : int;
+  mutable oracle_matched : int;
+  mutable max_gap : int;
+  mutable gap_findings : int;
+  mutable sim_checked : int;
+  mutable sim_skipped : int;
+}
+
+let create_stats () =
+  {
+    instances = 0;
+    ok = 0;
+    infeasible = 0;
+    failed = 0;
+    minimized = 0;
+    oracle_checked = 0;
+    oracle_skipped = 0;
+    oracle_optimal = 0;
+    oracle_matched = 0;
+    max_gap = 0;
+    gap_findings = 0;
+    sim_checked = 0;
+    sim_skipped = 0;
+  }
+
+let summary_line s =
+  Printf.sprintf
+    "fuzzed %d instances: %d ok, %d infeasible, %d failed (%d minimized); \
+     oracle %d checked / %d skipped, %d proven optimal, %d matched, max gap \
+     %d (%d findings); sim %d checked / %d skipped"
+    s.instances s.ok s.infeasible s.failed s.minimized s.oracle_checked
+    s.oracle_skipped s.oracle_optimal s.oracle_matched s.max_gap
+    s.gap_findings s.sim_checked s.sim_skipped
+
+let run ?(opts = Diff.default_opts) ?ddg_knobs ?machine_knobs
+    ?(minimize = false) ?corpus_dir ?gap_threshold ?(verbose = false)
+    ?(log = ignore) ~seed ~count () =
+  let s = create_stats () in
+  for i = seed to seed + count - 1 do
+    let inst = Gen.instance ?ddg_knobs ?machine_knobs ~seed:i () in
+    let d = Diff.run ~opts inst in
+    s.instances <- s.instances + 1;
+    (match d.Diff.oracle with
+    | Diff.Oracle_checked { achieved; optimum; _ } ->
+        s.oracle_checked <- s.oracle_checked + 1;
+        (match optimum with
+        | Some o ->
+            s.oracle_optimal <- s.oracle_optimal + 1;
+            if achieved = o then s.oracle_matched <- s.oracle_matched + 1;
+            if achieved - o > s.max_gap then s.max_gap <- achieved - o
+        | None -> ())
+    | Diff.Oracle_skipped _ -> s.oracle_skipped <- s.oracle_skipped + 1);
+    (match d.Diff.sim with
+    | Diff.Sim_checked _ -> s.sim_checked <- s.sim_checked + 1
+    | Diff.Sim_skipped _ -> s.sim_skipped <- s.sim_skipped + 1);
+    let failed = d.Diff.failures <> [] in
+    let gap_hit =
+      match (gap_threshold, Diff.gap d) with
+      | Some t, Some g -> g >= t
+      | _ -> false
+    in
+    if failed then s.failed <- s.failed + 1
+    else if not d.Diff.feasible then s.infeasible <- s.infeasible + 1
+    else s.ok <- s.ok + 1;
+    if gap_hit then s.gap_findings <- s.gap_findings + 1;
+    if failed || gap_hit then begin
+      log (Diff.verdict_line d);
+      List.iter
+        (fun f -> log (Printf.sprintf "  %s: %s" f.Diff.check f.Diff.detail))
+        d.Diff.failures;
+      if minimize then begin
+        (* Shrink under "the same first check still fails" — or, for a
+           pure gap finding, "the proven gap stays at the threshold". *)
+        let kind, keep =
+          match d.Diff.failures with
+          | (f : Diff.failure) :: _ ->
+              ( f.Diff.check,
+                fun cand ->
+                  let dc = Diff.run ~opts cand in
+                  List.exists
+                    (fun g -> g.Diff.check = f.Diff.check)
+                    dc.Diff.failures )
+          | [] ->
+              let t = Option.get gap_threshold in
+              ( "gap",
+                fun cand ->
+                  match Diff.gap (Diff.run ~opts cand) with
+                  | Some g -> g >= t
+                  | None -> false )
+        in
+        let small = Shrink.minimize ~keep inst in
+        s.minimized <- s.minimized + 1;
+        let md = Diff.run ~opts small in
+        log ("  minimized: " ^ Diff.verdict_line md);
+        match corpus_dir with
+        | None -> ()
+        | Some dir ->
+            let name = Printf.sprintf "fuzz-seed%d-%s" i kind in
+            let expect =
+              if kind = "gap" then
+                Corpus.Expect_gap (Option.value (Diff.gap md) ~default:0)
+              else Corpus.Expect_fail kind
+            in
+            Corpus.write ~dir ~name small expect;
+            log (Printf.sprintf "  wrote %s/%s.{ddg,repro}" dir name)
+      end
+    end
+    else if verbose then log (Diff.verdict_line d)
+  done;
+  log (summary_line s);
+  s
+
+let replay_dir ?opts ?(log = ignore) dir =
+  match Corpus.load_dir dir with
+  | Error e ->
+      log ("corpus load failed: " ^ e);
+      (0, 1)
+  | Ok entries ->
+      List.fold_left
+        (fun (total, bad) (entry : Corpus.entry) ->
+          match Corpus.replay ?opts entry with
+          | Ok line ->
+              log (entry.Corpus.name ^ ": " ^ line);
+              (total + 1, bad)
+          | Error e ->
+              log ("MISMATCH " ^ e);
+              (total + 1, bad + 1))
+        (0, 0) entries

@@ -1,0 +1,56 @@
+(** The fuzzing campaign: a seed range through {!Diff.run}, with
+    optional shrinking of every failure down to a replayable reproducer
+    under a corpus directory.
+
+    All output goes through the caller's [log] callback and never
+    contains a wall-clock figure: the whole campaign transcript is a
+    pure function of [(seeds, knobs, opts)]. *)
+
+type stats = {
+  mutable instances : int;
+  mutable ok : int;
+  mutable infeasible : int;  (** no legal clusterisation — counted, not failed *)
+  mutable failed : int;  (** instances with at least one check failure *)
+  mutable minimized : int;  (** reproducers written to the corpus *)
+  mutable oracle_checked : int;
+  mutable oracle_skipped : int;
+  mutable oracle_optimal : int;  (** oracle closed the instance *)
+  mutable oracle_matched : int;  (** ... and the heuristic met the optimum *)
+  mutable max_gap : int;  (** worst proven optimality gap seen *)
+  mutable gap_findings : int;  (** instances at or above [gap_threshold] *)
+  mutable sim_checked : int;
+  mutable sim_skipped : int;
+}
+
+val summary_line : stats -> string
+
+val run :
+  ?opts:Diff.opts ->
+  ?ddg_knobs:Gen.ddg_knobs ->
+  ?machine_knobs:Gen.machine_knobs ->
+  ?minimize:bool ->
+  ?corpus_dir:string ->
+  ?gap_threshold:int ->
+  ?verbose:bool ->
+  ?log:(string -> unit) ->
+  seed:int ->
+  count:int ->
+  unit ->
+  stats
+(** Fuzzes seeds [seed .. seed + count - 1].  Failure verdicts are
+    always logged; per-instance [ok] lines only when [verbose].
+
+    With [gap_threshold] set, an instance whose proven optimality gap
+    reaches the threshold is reported (and shrunk) like a failure —
+    the knob that mines the corpus for heuristic-miss regression
+    instances — without counting into [failed].
+
+    With [minimize] (default off), every finding is shrunk with
+    {!Shrink.minimize} under "the same first check still fails" (resp.
+    "the gap stays at or above threshold") and, when [corpus_dir] is
+    set, written there as [fuzz-seed<N>-<check>.{ddg,repro}]. *)
+
+val replay_dir :
+  ?opts:Diff.opts -> ?log:(string -> unit) -> string -> int * int
+(** Replays every reproducer in a corpus directory; returns
+    [(total, mismatches)].  Mismatch explanations go to [log]. *)

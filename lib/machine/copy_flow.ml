@@ -135,6 +135,23 @@ let add_copy t ~src ~dst value =
     end
   end
 
+let remove_copy t ~src ~dst value =
+  if t.marks <> 0 then invalid_arg "Copy_flow.remove_copy: speculation in flight";
+  if not (List.mem value t.values.(src).(dst)) then
+    invalid_arg "Copy_flow.remove_copy: value not routed on this arc";
+  t.values.(src).(dst) <-
+    List.filter (fun v -> v <> value) t.values.(src).(dst);
+  t.total <- t.total - 1;
+  t.in_pres.(dst) <- t.in_pres.(dst) - 1;
+  if t.values.(src).(dst) = [] then begin
+    t.in_deg.(dst) <- t.in_deg.(dst) - 1;
+    t.out_deg.(src) <- t.out_deg.(src) - 1;
+    if is_in_port t src && t.out_deg.(src) = 0 then
+      t.used_ports <- t.used_ports - 1;
+    if not t.reserved.(src).(dst) then
+      t.committed_in.(dst) <- t.committed_in.(dst) - 1
+  end
+
 let push_mark t =
   t.marks <- t.marks + 1;
   t.trail_len

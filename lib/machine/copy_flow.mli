@@ -47,6 +47,15 @@ val add_copy :
 (** Routes one value.  Idempotent per [(src, dst, value)].
     @raise Invalid_argument when [can_add] is false. *)
 
+val remove_copy :
+  t -> src:Pattern_graph.node_id -> dst:Pattern_graph.node_id -> Instr.id -> unit
+(** Fault injection for the coherency negative tests: un-routes one
+    value, keeping every aggregate counter consistent (the flow remains
+    structurally valid — only the communication it promises changes).
+    Never used by the search itself.
+    @raise Invalid_argument when the value is not routed on the arc or
+    a speculation mark is outstanding. *)
+
 (** {1 Speculation trail}
 
     The SEE probes candidate moves by mutating one scratch flow in

@@ -127,6 +127,41 @@ let reserve_external_out t ~src ~label =
           t.ext_out.(src) <- (label, w) :: t.ext_out.(src);
           Ok w)
 
+(* Fault-injection hooks for the coherency negative tests.  They
+   deliberately produce configurations the allocation API above cannot:
+   [remove_value] keeps the model structurally valid but breaks a
+   communication promise; [inject_sink] overfills a MUX (every slot
+   counter is updated, so [validate] must flag the capacity, not an
+   accounting mismatch); [drop_external_in] severs a father wire. *)
+
+let remove_value t ~wire v =
+  check_wire t wire "Machine_model.remove_value";
+  if not (List.mem v t.values.(wire)) then
+    invalid_arg "Machine_model.remove_value: value not on this wire";
+  t.values.(wire) <- List.filter (fun x -> x <> v) t.values.(wire)
+
+let inject_sink t ~wire ~dst =
+  check_wire t wire "Machine_model.inject_sink";
+  check_node t dst "Machine_model.inject_sink";
+  t.in_used.(dst) <- t.in_used.(dst) + 1;
+  t.sinks.(wire) <- dst :: t.sinks.(wire)
+
+let drop_external_in t ~dst ~label =
+  check_node t dst "Machine_model.drop_external_in";
+  if not (List.mem label t.ext_in.(dst)) then
+    invalid_arg "Machine_model.drop_external_in: label not reserved";
+  t.ext_in.(dst) <-
+    (let dropped = ref false in
+     List.filter
+       (fun l ->
+         if l = label && not !dropped then begin
+           dropped := true;
+           false
+         end
+         else true)
+       t.ext_in.(dst));
+  t.in_used.(dst) <- t.in_used.(dst) - 1
+
 let wire_values t w =
   check_wire t w "Machine_model.wire_values";
   List.rev t.values.(w)

@@ -61,6 +61,26 @@ val reserve_external_out : t -> src:node_id -> label:int -> (wire_id, string) re
     up-links at once, which is how the single-out-wire leaf CNs serve
     both.  Fails only when [src] has no wire at all. *)
 
+(** {1 Fault injection (tests only)}
+
+    Hooks for the coherency negative tests: they build corrupted
+    configurations the allocation API refuses, so the tests can assert
+    the checkers reject them.  Never used by the Mapper. *)
+
+val remove_value : t -> wire:wire_id -> Instr.id -> unit
+(** Removes a value from a wire's payload — the model stays
+    structurally valid but no longer carries what it promised.
+    @raise Invalid_argument when the value is not on the wire. *)
+
+val inject_sink : t -> wire:wire_id -> dst:node_id -> unit
+(** Ties an input of [dst] to [wire] {e bypassing} the capacity and
+    duplicate checks of {!connect} (slot accounting is updated, so
+    {!validate} reports the overfilled capacity itself). *)
+
+val drop_external_in : t -> dst:node_id -> label:int -> unit
+(** Removes one pre-allocated father-wire reservation.
+    @raise Invalid_argument when [label] is not reserved into [dst]. *)
+
 (** {1 Queries} *)
 
 val owner : t -> wire_id -> node_id

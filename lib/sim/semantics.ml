@@ -30,11 +30,13 @@ let eval op args =
   in
   match op with
   | Opcode.Add -> (
-      (* Inductions and accumulators appear as 1-ary adds. *)
+      (* Inductions and accumulators appear as 1-ary adds; wider adds
+         fold like every other associative opcode (loop-carried edges
+         can land extra operands on any node). *)
       match args with
       | [ a ] -> Int32.add a 1l
-      | [ a; b ] -> Int32.add a b
-      | _ -> invalid_arg "Semantics.eval: arity of add")
+      | a :: rest -> List.fold_left Int32.add a rest
+      | [] -> invalid_arg "Semantics.eval: arity of add")
   | Opcode.Sub -> binary Int32.sub
   | Opcode.Mul -> binary Int32.mul
   | Opcode.Mac -> (

@@ -558,6 +558,129 @@ let test_coherency_lists_specific_errors () =
       res.Hierarchy.cn_of_instr.(0) <- original;
       Alcotest.(check bool) "restored" true (Coherency.is_legal res))
 
+(* --- negative paths: mutated known-good configurations ------------------ *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let solve_spread () =
+  (* ii=1 forces the diamond across all four CNs, so every hierarchy
+     level carries real traffic worth corrupting. *)
+  match Hierarchy.solve small_fabric (diamond ()) ~ii:1 with
+  | Error e -> Alcotest.fail e
+  | Ok res ->
+      Alcotest.(check bool) "initially legal" true (Coherency.is_legal res);
+      res
+
+let root_subresult res =
+  List.find
+    (fun (s : Hierarchy.subresult) -> s.Hierarchy.path = [])
+    (Hierarchy.subresults res)
+
+let expect_rejection res label substrings =
+  match Coherency.check res with
+  | Ok () -> Alcotest.failf "%s: mutation accepted" label
+  | Error msgs ->
+      let all = String.concat " | " msgs in
+      Alcotest.(check bool)
+        (label ^ ": diagnostic names the violation")
+        true
+        (List.exists (contains all) substrings)
+
+let test_coherency_rejects_dropped_copy () =
+  let res = solve_spread () in
+  let flow = State.flow (root_subresult res).Hierarchy.state in
+  (match List.find_opt (fun (_, _, vs) -> vs <> []) (Copy_flow.arcs flow) with
+  | Some (src, dst, v :: _) -> Copy_flow.remove_copy flow ~src ~dst v
+  | _ -> Alcotest.fail "no copy to drop at the root");
+  expect_rejection res "dropped copy" [ "no path between the two cluster sets" ]
+
+let test_coherency_rejects_dropped_wire_value () =
+  let res = solve_spread () in
+  let model = (root_subresult res).Hierarchy.mapres.Mapper.model in
+  let exception Done in
+  (try
+     for nd = 0 to Machine_model.nodes model - 1 do
+       List.iter
+         (fun w ->
+           match Machine_model.wire_values model w with
+           | v :: _ ->
+               Machine_model.remove_value model ~wire:w v;
+               raise Done
+           | [] -> ())
+         (Machine_model.used_out_wires model nd)
+     done;
+     Alcotest.fail "no wire value to drop at the root"
+   with Done -> ());
+  expect_rejection res "dropped wire value"
+    [ "no path between the two cluster sets" ]
+
+let test_coherency_rejects_overfilled_mux () =
+  (* A 4-children root offers enough foreign wires to overfill one
+     MUX with distinct connections (duplicates are a separate error). *)
+  let wide = Dspfabric.make ~fanouts:[| 4; 2 |] ~n:4 ~m:4 ~k:4 () in
+  match Hierarchy.solve wide (diamond ()) ~ii:1 with
+  | Error e -> Alcotest.fail e
+  | Ok res ->
+      Alcotest.(check bool) "initially legal" true (Coherency.is_legal res);
+      let model = (root_subresult res).Hierarchy.mapres.Mapper.model in
+      let nodes = Machine_model.nodes model
+      and cap = Machine_model.in_capacity model
+      and out_cap = Machine_model.out_capacity model in
+      let dst = nodes - 1 in
+      let added = ref 0 in
+      for w = 0 to (nodes * out_cap) - 1 do
+        if
+          !added <= cap && w / out_cap <> dst
+          && not (List.mem dst (Machine_model.wire_sinks model w))
+        then begin
+          Machine_model.inject_sink model ~wire:w ~dst;
+          incr added
+        end
+      done;
+      Alcotest.(check bool) "injected past capacity" true (!added > cap);
+      expect_rejection res "overfilled mux" [ "exceed capacity" ]
+
+let test_coherency_rejects_dropped_external_in () =
+  let res = solve_spread () in
+  let rec find = function
+    | [] -> Alcotest.fail "no external input reservation to drop"
+    | (sub : Hierarchy.subresult) :: rest ->
+        let model = sub.Hierarchy.mapres.Mapper.model in
+        let rec node nd =
+          if nd >= Machine_model.nodes model then find rest
+          else
+            match Machine_model.external_ins model nd with
+            | label :: _ -> Machine_model.drop_external_in model ~dst:nd ~label
+            | [] -> node (nd + 1)
+        in
+        node 0
+  in
+  find (Hierarchy.subresults res);
+  expect_rejection res "dropped external input"
+    [
+      "value does not reach the consumer's cluster set";
+      "value enters on no input port";
+    ]
+
+let test_coherency_rejects_cross_wired_clusters () =
+  let res = solve_spread () in
+  (* Swap two instructions across the level-0 boundary: every routed
+     copy now serves the wrong producer. *)
+  let a = res.Hierarchy.cn_of_instr.(1) and b = res.Hierarchy.cn_of_instr.(2) in
+  Alcotest.(check bool) "placed on distinct CNs" true (a <> b);
+  res.Hierarchy.cn_of_instr.(1) <- b;
+  res.Hierarchy.cn_of_instr.(2) <- a;
+  expect_rejection res "cross-wired clusters"
+    [
+      "no path between the two cluster sets";
+      "value owed upwards on no output port";
+      "value does not reach its output port";
+      "value does not reach the consumer's cluster set";
+    ]
+
 let test_hierarchy_leaf_of_path () =
   match Hierarchy.solve small_fabric (diamond ()) ~ii:4 with
   | Error e -> Alcotest.fail e
@@ -641,6 +764,16 @@ let () =
             test_hierarchy_narrow_fabric_fails_or_degrades;
           Alcotest.test_case "specific errors" `Quick
             test_coherency_lists_specific_errors;
+          Alcotest.test_case "rejects dropped copy" `Quick
+            test_coherency_rejects_dropped_copy;
+          Alcotest.test_case "rejects dropped wire value" `Quick
+            test_coherency_rejects_dropped_wire_value;
+          Alcotest.test_case "rejects overfilled mux" `Quick
+            test_coherency_rejects_overfilled_mux;
+          Alcotest.test_case "rejects dropped external in" `Quick
+            test_coherency_rejects_dropped_external_in;
+          Alcotest.test_case "rejects cross-wired clusters" `Quick
+            test_coherency_rejects_cross_wired_clusters;
           Alcotest.test_case "leaf_of_path" `Quick test_hierarchy_leaf_of_path;
           Alcotest.test_case "count consistency" `Quick
             test_hierarchy_counts_consistent;
