@@ -6,6 +6,8 @@
      exact  <kernel>   SAT-based exact cluster-assignment oracle
      table1            reproduce Table 1 of the paper
      dot    <kernel>   DOT dump (optionally clustered by assignment)
+     serve             compile daemon (socket/stdio, persistent memo store)
+     loadtest          replay generator traffic against a running daemon
      list              available kernels *)
 
 open Cmdliner
@@ -99,15 +101,24 @@ let trace_meta () = [ ("git", Hca_util.Stamp.git_describe ()) ]
 let with_trace trace f =
   match trace with
   | None -> f ()
-  | Some path ->
+  | Some path -> (
       Hca_obs.Obs.reset ();
       Hca_obs.Obs.enable ();
-      Fun.protect
-        ~finally:(fun () ->
-          Hca_obs.Obs.disable ();
-          Hca_obs.Obs.Trace.write ~meta:(trace_meta ()) path;
-          Printf.eprintf "trace written to %s\n%!" path)
-        f
+      (* Ctrl-C must unwind as [Sys.Break], or the [finally] below never
+         runs and a long traced run dies with nothing on disk. *)
+      Sys.catch_break true;
+      match
+        Fun.protect
+          ~finally:(fun () ->
+            Hca_obs.Obs.disable ();
+            Hca_obs.Obs.Trace.write ~meta:(trace_meta ()) path;
+            Printf.eprintf "trace written to %s\n%!" path)
+          f
+      with
+      | v -> v
+      | exception Sys.Break ->
+          Printf.eprintf "interrupted; partial trace flushed\n%!";
+          Stdlib.exit 130)
 
 let trace_arg =
   Arg.(
@@ -679,6 +690,122 @@ let fuzz_cmd =
       const run $ seed $ count $ minimize $ corpus $ replay $ gap $ jobs_term
       $ verbose $ max_size)
 
+let socket_arg =
+  Arg.(
+    value
+    & opt string "/tmp/hca.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"FILE"
+        ~doc:
+          "Persistent memo store: the cross-request subproblem cache is \
+           loaded from $(docv) at startup (ignored when stale) and flushed \
+           back on graceful shutdown, so a restarted daemon starts warm.")
+
+let serve_cmd =
+  let run socket stdio jobs store trace =
+    if stdio then Hca_serve.Daemon.run_stdio ~jobs ?store_path:store ()
+    else
+      Hca_serve.Daemon.run_socket ~path:socket ~jobs ?store_path:store ?trace
+        ()
+  in
+  let stdio =
+    Arg.(
+      value & flag
+      & info [ "stdio" ]
+          ~doc:
+            "Serve one client over stdin/stdout instead of binding the \
+             socket (EOF shuts the daemon down gracefully).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 2
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains solving queued requests (the serving loop is \
+             not one of them).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the compile daemon: line-delimited JSON requests (submit / \
+          status / result / cancel / stats) over a Unix socket or stdio, \
+          with a persistent cross-request subproblem memo store")
+    Term.(const run $ socket_arg $ stdio $ jobs $ store_arg $ trace_arg)
+
+let loadtest_cmd =
+  let run socket count jobs seed max_size deadline verify out =
+    match
+      Hca_serve.Loadtest.run ~path:socket ~count ~jobs ~seed0:seed ?max_size
+        ?deadline_s:deadline ~verify ?json_out:out ()
+    with
+    | Error e ->
+        Printf.eprintf "loadtest failed: %s\n" e;
+        exit 1
+    | Ok s ->
+        Hca_serve.Loadtest.print_summary s;
+        if s.Hca_serve.Loadtest.verify_mismatches > 0 then begin
+          Printf.eprintf
+            "loadtest: %d served result(s) differ from local one-shot runs\n"
+            s.Hca_serve.Loadtest.verify_mismatches;
+          exit 1
+        end
+  in
+  let count =
+    Arg.(
+      value & opt int 25
+      & info [ "count" ] ~docv:"N" ~doc:"Requests to submit.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 2
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Client workers, one connection each.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"S" ~doc:"First generator seed.")
+  in
+  let max_size =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-size" ] ~docv:"N"
+          ~doc:"Cap the generated kernel size (default 24).")
+  in
+  let deadline =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Per-request deadline (queue wait included).")
+  in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Re-run every request locally and require the served result to \
+             be bit-identical (exit 1 otherwise).")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write bench-style NDJSON rows (per seed + aggregate).")
+  in
+  Cmd.v
+    (Cmd.info "loadtest"
+       ~doc:
+         "Replay seeded generator traffic against a running daemon and \
+          report throughput, latency tails and cache effectiveness")
+    Term.(
+      const run $ socket_arg $ count $ jobs $ seed $ max_size $ deadline
+      $ verify $ out)
+
 let list_cmd =
   let run () =
     let table1 = List.sort compare Registry.names in
@@ -696,4 +823,4 @@ let () =
     Cmd.info "hca" ~version:"1.0.0"
       ~doc:"Hierarchical Cluster Assignment for DSPFabric (IPPS 2007 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ stats_cmd; run_cmd; profile_cmd; tracecheck_cmd; exact_cmd; table1_cmd; dot_cmd; explain_cmd; level0_cmd; topology_cmd; sched_cmd; simulate_cmd; portfolio_cmd; rcp_cmd; fuzz_cmd; list_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ stats_cmd; run_cmd; profile_cmd; tracecheck_cmd; exact_cmd; table1_cmd; dot_cmd; explain_cmd; level0_cmd; topology_cmd; sched_cmd; simulate_cmd; portfolio_cmd; rcp_cmd; fuzz_cmd; serve_cmd; loadtest_cmd; list_cmd ]))

@@ -82,6 +82,26 @@ let create_cache () =
 
 let stripe_of (cache : cache) key = cache.(Hashtbl.hash key land (stripes - 1))
 
+(* A snapshot is the cache's payload without its mutexes: plain data end
+   to end (the solver's records hold no closures), so [Marshal] can ship
+   it to disk and a warm restart rebuilds an equivalent cache. *)
+type snapshot = (key * entry) array
+
+let snapshot (cache : cache) : snapshot =
+  let acc = ref [] in
+  Array.iter
+    (fun (m, tbl) ->
+      Mutex.lock m;
+      Hashtbl.iter (fun k e -> acc := (k, e) :: !acc) tbl;
+      Mutex.unlock m)
+    cache;
+  Array.of_list !acc
+
+let snapshot_length (s : snapshot) = Array.length s
+
+let cache_length (cache : cache) =
+  Array.fold_left (fun acc (_, tbl) -> acc + Hashtbl.length tbl) 0 cache
+
 let cache_find cache key =
   let m, tbl = stripe_of cache key in
   Mutex.lock m;
@@ -94,6 +114,11 @@ let cache_store cache key entry =
   Mutex.lock m;
   if not (Hashtbl.mem tbl key) then Hashtbl.replace tbl key entry;
   Mutex.unlock m
+
+let restore (s : snapshot) : cache =
+  let cache = create_cache () in
+  Array.iter (fun (k, e) -> cache_store cache k e) s;
+  cache
 
 let rec count_subresults sub =
   Array.fold_left
@@ -136,7 +161,10 @@ let solve ?(config = Config.default) ?target_ii ?cache ?stats fabric ddg ~ii =
         let key =
           {
             k_kernel = Ddg.name ddg;
-            k_machine = Dspfabric.name fabric;
+            (* Total identity: the cache may outlive this run and meet
+               fabrics [Dspfabric.name] cannot tell apart (same N/M/K,
+               different fan-outs or port counts). *)
+            k_machine = Dspfabric.id fabric;
             k_level = level;
             k_path = path;
             k_ws = ws;

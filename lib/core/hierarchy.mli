@@ -64,9 +64,30 @@ val create_stats : unit -> stats
 type cache
 
 val create_cache : unit -> cache
-(** Safe to share across domains and II probes of the same kernel and
-    machine (the key embeds both, so wider sharing is merely
-    pointless, not wrong). *)
+(** Safe to share across domains, II probes, kernels and machines: the
+    key embeds the kernel name, the total {!Dspfabric.id}, the II
+    window and the configuration, so unrelated requests can pool one
+    cache without colliding.  (Callers feeding kernels from outside the
+    fixed registry must make the kernel {e name} pin the graph — see
+    {!Ddg.with_name}.) *)
+
+type snapshot
+(** The cache's payload detached from its locks: plain data, safe to
+    [Marshal] — the compile service persists one of these per store
+    file so warm caches survive daemon restarts. *)
+
+val snapshot : cache -> snapshot
+(** Atomic per stripe; concurrent solvers may keep inserting. *)
+
+val restore : snapshot -> cache
+(** A fresh cache holding exactly the snapshot's entries.  Solutions
+    served from a restored cache are bit-identical to the run that
+    populated it (same entries, same replayed counters). *)
+
+val snapshot_length : snapshot -> int
+
+val cache_length : cache -> int
+(** Entries currently stored, over all stripes. *)
 
 val solve :
   ?config:Config.t ->

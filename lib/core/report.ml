@@ -20,6 +20,7 @@ type t = {
   cache_misses : int;
   reused_subproblems : int;
   memo_enabled : bool;
+  timed_out : bool;
   runtime_s : float;
   error : string option;
   result : Hierarchy.t option;
@@ -47,12 +48,14 @@ let base_row ~kernel ~machine ddg fabric_resources =
     cache_misses = 0;
     reused_subproblems = 0;
     memo_enabled = false;
+    timed_out = false;
     runtime_s = 0.0;
     error = None;
     result = None;
   }
 
-let run ?(config = Config.default) ?(jobs = 1) ?(memo = true) fabric ddg =
+let run ?(config = Config.default) ?(jobs = 1) ?(memo = true) ?cache
+    ?deadline_s fabric ddg =
   Hca_obs.Obs.span "report.run" ~args:[ ("kernel", Ddg.name ddg) ]
   @@ fun () ->
   let t0 = Hca_util.Clock.now () in
@@ -64,9 +67,20 @@ let run ?(config = Config.default) ?(jobs = 1) ?(memo = true) fabric ddg =
       memo_enabled = memo;
     }
   in
-  (* One subproblem memo per run: II probes of the same kernel share
-     it (the cache is domain-safe and its keys embed the II). *)
-  let hcache = if memo then Some (Hierarchy.create_cache ()) else None in
+  let deadline = Option.map (fun d -> t0 +. d) deadline_s in
+  let past_deadline () =
+    match deadline with
+    | None -> false
+    | Some d -> Hca_util.Clock.now () > d
+  in
+  (* One subproblem memo per run — II probes of the same kernel share
+     it (the cache is domain-safe and its keys embed the II) — unless
+     the caller passed a longer-lived one, e.g. the compile daemon's
+     persistent cross-request store. *)
+  let hcache =
+    if not memo then None
+    else match cache with Some c -> Some c | None -> Some (Hierarchy.create_cache ())
+  in
   let attempt ii =
     Hca_obs.Obs.span "report.probe" ~args:[ ("ii", string_of_int ii) ]
     @@ fun () ->
@@ -131,17 +145,22 @@ let run ?(config = Config.default) ?(jobs = 1) ?(memo = true) fabric ddg =
              (fun ii -> (ii, attempt ii))
              fresh)
   in
+  (* A deadline is checked between II attempts (the climb and patience
+     loops), never inside one: the structured [timed_out] flag replaces
+     the silent truncation a budget used to cause, and the best legal
+     attempt finished before the cut-off still comes back. *)
   let rec climb ii last_error =
-    if ii > ii_limit then (None, last_error)
+    if ii > ii_limit then (None, last_error, false)
+    else if past_deadline () then (None, last_error, true)
     else begin
       if jobs > 1 && not (Hashtbl.mem cache ii) then
         eval_batch (List.init (min jobs (ii_limit - ii + 1)) (fun i -> ii + i));
       match eval ii with
-      | Ok ok -> (Some (ii, ok), None)
+      | Ok ok -> (Some (ii, ok), None, false)
       | Error e -> climb (ii + 1) (Some e)
     end
   in
-  let first, error = climb base.ini_mii None in
+  let first, error, timed_out = climb base.ini_mii None in
   match first with
   | None ->
       let cache_hits, cache_misses, reused_subproblems =
@@ -149,7 +168,10 @@ let run ?(config = Config.default) ?(jobs = 1) ?(memo = true) fabric ddg =
       in
       {
         base with
-        error;
+        error =
+          (if timed_out then Some "deadline exceeded before a feasible II"
+           else error);
+        timed_out;
         cache_hits;
         cache_misses;
         reused_subproblems;
@@ -178,13 +200,16 @@ let run ?(config = Config.default) ?(jobs = 1) ?(memo = true) fabric ddg =
       in
       if jobs > 1 then eval_batch patience_iis;
       let best = ref (ii0, first_ok) in
+      let cut_short = ref false in
       List.iter
         (fun ii ->
-          match eval ii with
-          | Ok ok ->
-              count ok;
-              if better_than ok (snd !best) then best := (ii, ok)
-          | Error _ -> ())
+          if past_deadline () then cut_short := true
+          else
+            match eval ii with
+            | Ok ok ->
+                count ok;
+                if better_than ok (snd !best) then best := (ii, ok)
+            | Error _ -> ())
         patience_iis;
       let ii_used, (res, metrics, legal) = !best in
       let cache_hits, cache_misses, reused_subproblems =
@@ -193,6 +218,7 @@ let run ?(config = Config.default) ?(jobs = 1) ?(memo = true) fabric ddg =
       {
         base with
         legal;
+        timed_out = !cut_short;
         final_mii = Some metrics.Metrics.final_mii;
         ii_used;
         copies = metrics.Metrics.copies;
@@ -277,4 +303,5 @@ let pp ppf t =
     | None -> "FAILED")
     t.ii_used t.legal t.copies t.forwards t.max_wire_load t.explored_states
     t.routed_moves (memo_string t) t.runtime_s
-    (match t.error with None -> "" | Some e -> " error: " ^ e)
+    ((if t.timed_out then " [deadline exceeded: best-so-far]" else "")
+    ^ match t.error with None -> "" | Some e -> " error: " ^ e)

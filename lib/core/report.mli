@@ -37,13 +37,25 @@ type t = {
   memo_enabled : bool;
       (** whether the run carried a memo cache at all — lets consumers
           (and {!pp}) distinguish "memo on, zero hits" from "memo off" *)
+  timed_out : bool;
+      (** the [deadline_s] budget expired mid-search: the row carries
+          the best result found before the cut-off (possibly none) —
+          a structured [Deadline_exceeded] signal, not a silent
+          truncation.  Always [false] without a deadline. *)
   runtime_s : float;  (** wall-clock seconds spent in the whole search *)
   error : string option;
   result : Hierarchy.t option;  (** the winning assignment, for inspection *)
 }
 
 val run :
-  ?config:Config.t -> ?jobs:int -> ?memo:bool -> Dspfabric.t -> Ddg.t -> t
+  ?config:Config.t ->
+  ?jobs:int ->
+  ?memo:bool ->
+  ?cache:Hierarchy.cache ->
+  ?deadline_s:float ->
+  Dspfabric.t ->
+  Ddg.t ->
+  t
 (** [jobs] (default 1) sizes the domain pool used to probe candidate
     IIs.  The climb evaluates [jobs] consecutive IIs speculatively per
     round and still commits to the lowest feasible one; the probes past
@@ -55,7 +67,20 @@ val run :
     attempts, short-circuiting subproblems that inter-level
     backtracking would re-solve verbatim.  Every field except
     [runtime_s] is bit-identical with the memo on or off (property
-    tested). *)
+    tested).
+
+    [cache] substitutes a caller-owned cache for the per-run one (only
+    meaningful with [memo = true], the default): the compile daemon
+    passes its persistent cross-request store here, so repeated or
+    similar kernels start warm.  A warm cache changes the hit/miss
+    counters and the wall clock, never the result.
+
+    [deadline_s] (wall-clock seconds from entry) cuts the search off
+    between II attempts.  An expired deadline sets {!field-timed_out}
+    and returns the best attempt that finished in time — a legal row
+    when one exists, otherwise an error row — rather than truncating
+    silently.  Deadline runs are wall-clock dependent, so the
+    invariance guarantees above only cover [deadline_s = None]. *)
 
 val failure_row : kernel:string -> machine:string -> Ddg.t -> string -> t
 (** A row for a kernel that could not be clusterised, with the static

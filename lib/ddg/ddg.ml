@@ -90,6 +90,8 @@ end
 
 let name g = g.name
 
+let with_name g name = { g with name }
+
 let size g = Array.length g.instrs
 
 let instr g id =

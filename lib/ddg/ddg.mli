@@ -51,6 +51,11 @@ end
 
 val name : t -> string
 
+val with_name : t -> string -> t
+(** Same graph under a different name.  The compile service names
+    client-supplied kernels by a content digest, so a cross-request
+    memo key can trust the name to pin the graph. *)
+
 val size : t -> int
 (** Number of instructions. *)
 

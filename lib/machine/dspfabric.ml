@@ -42,6 +42,12 @@ let dma_ports t = t.dma_ports
 let name t =
   Printf.sprintf "dspfabric-%d(N=%d,M=%d,K=%d)" (total_cns t) (n t) (m t) (k t)
 
+let id t =
+  Printf.sprintf "dspfabric[%s;mux=%s;cn_in=%d;dma=%d]"
+    (String.concat "x" (Array.to_list (Array.map string_of_int t.fanouts)))
+    (String.concat "," (Array.to_list (Array.map string_of_int t.mux_caps)))
+    t.cn_in_wires t.dma_ports
+
 type level_view = {
   level : int;
   children : int;

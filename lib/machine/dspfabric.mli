@@ -36,6 +36,12 @@ val reference : t
 val name : t -> string
 (** E.g. ["dspfabric-64(N=8,M=8,K=8)"]. *)
 
+val id : t -> string
+(** Total identity: two fabrics share an [id] iff {!make} received the
+    same parameters — unlike {!name}, which elides the fan-outs, the
+    per-CN wire count and the DMA ports.  Used wherever a fabric keys a
+    cache that outlives a single run. *)
+
 val depth : t -> int
 (** Number of hierarchy levels (3 for the reference instance). *)
 

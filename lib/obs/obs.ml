@@ -109,6 +109,8 @@ module Summary = struct
     min_v : float;
     p50 : float;
     p90 : float;
+    p95 : float;
+    p99 : float;
     max_v : float;
   }
 
@@ -199,6 +201,8 @@ module Summary = struct
             min_v = (if n = 0 then 0. else a.(0));
             p50 = percentile a 0.5;
             p90 = percentile a 0.9;
+            p95 = percentile a 0.95;
+            p99 = percentile a 0.99;
             max_v = (if n = 0 then 0. else a.(n - 1));
           }
           :: acc)
@@ -254,7 +258,8 @@ module Summary = struct
         create
           [
             ("histogram", Left); ("samples", Right); ("min", Right);
-            ("p50", Right); ("p90", Right); ("max", Right); ("mean", Right);
+            ("p50", Right); ("p90", Right); ("p95", Right); ("p99", Right);
+            ("max", Right); ("mean", Right);
           ]
       in
       let num v = Printf.sprintf "%.1f" v in
@@ -267,6 +272,8 @@ module Summary = struct
               num h.min_v;
               num h.p50;
               num h.p90;
+              num h.p95;
+              num h.p99;
               num h.max_v;
               num h.mean;
             ])

@@ -73,6 +73,8 @@ module Summary : sig
     min_v : float;
     p50 : float;
     p90 : float;
+    p95 : float;  (** tail percentiles for serving-latency reports *)
+    p99 : float;
     max_v : float;
   }
 

@@ -1,0 +1,82 @@
+(** The compilation-as-a-service daemon: accepts {!Protocol} requests,
+    schedules them on a {!Jobq}, and shares one persistent
+    {!Hca_core.Hierarchy} subproblem cache across every request — the
+    PR-3 memo promoted to a cross-request, cross-restart store.
+
+    Two transports speak the same line protocol through the same
+    handler: a Unix-domain socket ({!run_socket}, a single-threaded
+    [select] loop with worker domains solving in the background and a
+    self-pipe waking the loop when a blocked [result wait] can be
+    answered) and stdio ({!run_stdio}, one client, blocking waits) —
+    the latter also being the harness the protocol tests drive
+    in-process via {!create}/{!handle_line} with no pool at all.
+
+    Graceful shutdown (SIGINT/SIGTERM, the [shutdown] verb, or EOF on
+    stdio) stops accepting work, drains queued and in-flight jobs,
+    flushes the memo store and any pending {!Hca_obs} trace buffers,
+    then exits. *)
+
+type t
+
+type reply =
+  | Line of string  (** answer immediately *)
+  | Wait_for of int
+      (** answer with {!result_line} once this job is terminal *)
+  | Shutdown_after of string  (** answer, then drain and exit *)
+
+val create :
+  ?pool:Hca_util.Domain_pool.t ->
+  ?on_finish:(unit -> unit) ->
+  ?store_path:string ->
+  ?stamp:string ->
+  unit ->
+  t
+(** Loads the memo store when [store_path] exists with a matching
+    [stamp] (default {!Store.default_stamp}); a stale or missing store
+    starts cold, a corrupt one warns on stderr and starts cold.  No
+    [pool] means jobs run only when the caller pumps ({!Jobq.wait} /
+    {!Jobq.pump} via {!jobq}) — the deterministic test mode. *)
+
+val jobq : t -> Jobq.t
+
+val handle_line : t -> string -> reply
+(** One protocol request in, one reply out.  Never raises on client
+    input: malformed JSON and unknown verbs come back as
+    [{"ok":false,...}] lines. *)
+
+val result_line : t -> int -> string
+(** The [result] response for a job in a terminal state (also what a
+    [Wait_for] turns into once {!Jobq.wait} returns). *)
+
+val cache_entries : t -> int
+
+val loaded_entries : t -> int
+(** Entries inherited from the store file at startup (0 when cold). *)
+
+val flush_store : t -> (int option, string) result
+(** Snapshot the cache to the store path ([Ok None] when no store was
+    configured); atomic on disk. *)
+
+val gen_kernel : seed:int -> max_size:int option -> Hca_ddg.Ddg.t
+(** The kernel a [gen_seed] submission maps (the fuzzer's generator
+    under the daemon's knob policy), exported so the load-test client
+    can rebuild the exact graph for local verification. *)
+
+val run_stdio :
+  ?jobs:int -> ?store_path:string -> ?stamp:string -> unit -> unit
+(** Serve stdin/stdout until EOF or a [shutdown] verb, then drain and
+    flush.  [jobs >= 1] worker domains ([1] = solve on the serving
+    domain between requests). *)
+
+val run_socket :
+  path:string ->
+  ?jobs:int ->
+  ?store_path:string ->
+  ?stamp:string ->
+  ?trace:string ->
+  unit ->
+  unit
+(** Bind [path] (an existing socket file is replaced), serve concurrent
+    connections until SIGINT/SIGTERM or a [shutdown] verb, drain,
+    flush the store — and when [trace] is given, write the Chrome
+    trace of the whole serving session there on the way out. *)

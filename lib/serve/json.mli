@@ -1,0 +1,39 @@
+(** Minimal JSON for the wire protocol of the compile service.
+
+    The repo deliberately carries no JSON dependency (see
+    [bin/bench_guard.ml]); the daemon needs full nested values on both
+    directions of the protocol, so this is a complete little parser and
+    printer rather than another flat-line scanner.  Numbers are
+    [float]s; integral values print without a fraction, so ids survive
+    a round trip textually unchanged. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** One JSON value, surrounding whitespace allowed; anything trailing
+    is an error (a protocol line holds exactly one value).  Error
+    messages carry the byte offset. *)
+
+val to_string : t -> string
+(** Compact single-line rendering (the protocol is line-delimited, so
+    no embedded newlines — they are escaped inside strings). *)
+
+(** {1 Typed accessors} — all total, [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] on anything else or a missing key. *)
+
+val str : t -> string option
+
+val num : t -> float option
+
+val int : t -> int option
+(** [Num] with integral value. *)
+
+val bool : t -> bool option

@@ -1,0 +1,289 @@
+module Report = Hca_core.Report
+
+type summary = {
+  count : int;
+  ok : int;
+  failed : int;
+  deadline_exceeded : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_entries : int;
+  loaded_entries : int;
+  elapsed_s : float;
+  throughput_rps : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  verified : int;
+  verify_mismatches : int;
+}
+
+exception Client_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Client_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Connection plumbing                                                 *)
+
+type conn = { ic : in_channel; oc : out_channel }
+
+let connect path =
+  let rec go tries =
+    let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+    match Unix.connect fd (ADDR_UNIX path) with
+    | () -> { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+    | exception Unix.Unix_error ((ENOENT | ECONNREFUSED), _, _) when tries > 0
+      ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Unix.sleepf 0.1;
+        go (tries - 1)
+    | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        fail "connect %s: %s" path (Unix.error_message e)
+  in
+  go 50
+
+let close conn = try close_out conn.oc with Sys_error _ -> ()
+
+let rpc conn line =
+  output_string conn.oc line;
+  output_char conn.oc '\n';
+  flush conn.oc;
+  let reply =
+    try input_line conn.ic
+    with End_of_file -> fail "daemon closed the connection"
+  in
+  match Json.parse reply with
+  | Error e -> fail "unparsable reply %S: %s" reply e
+  | Ok j -> (
+      match Option.bind (Json.member "ok" j) Json.bool with
+      | Some true -> j
+      | Some false | None ->
+          fail "daemon error: %s"
+            (Option.value ~default:reply
+               (Option.bind (Json.member "error" j) Json.str)))
+
+let jint j k =
+  match Option.bind (Json.member k j) Json.int with
+  | Some v -> v
+  | None -> fail "reply misses integer %S" k
+
+let jstr j k =
+  match Option.bind (Json.member k j) Json.str with
+  | Some v -> v
+  | None -> fail "reply misses string %S" k
+
+(* ------------------------------------------------------------------ *)
+(* One worker: submit every seed of its slice, then collect.           *)
+
+type served = {
+  seed : int;
+  kernel : string;
+  state : string;
+  legal : bool;
+  final_mii : int option;
+  copies : int;
+  invariant : string option;
+  latency_s : float;
+}
+
+let submit_line ~max_size ~deadline_s seed =
+  Json.to_string
+    (Json.Obj
+       ([ ("verb", Json.Str "submit"); ("gen_seed", Json.Num (float_of_int seed)) ]
+       @ (match max_size with
+         | None -> []
+         | Some m -> [ ("gen_max_size", Json.Num (float_of_int m)) ])
+       @
+       match deadline_s with
+       | None -> []
+       | Some d -> [ ("deadline_s", Json.Num d) ]))
+
+let worker ~path ~max_size ~deadline_s seeds =
+  let conn = connect path in
+  Fun.protect
+    ~finally:(fun () -> close conn)
+    (fun () ->
+      let pending =
+        List.map
+          (fun seed ->
+            let t0 = Hca_util.Clock.now () in
+            let j = rpc conn (submit_line ~max_size ~deadline_s seed) in
+            (seed, jint j "id", t0))
+          seeds
+      in
+      List.map
+        (fun (seed, id, t0) ->
+          let j =
+            rpc conn
+              (Json.to_string
+                 (Json.Obj
+                    [
+                      ("verb", Json.Str "result");
+                      ("id", Json.Num (float_of_int id));
+                      ("wait", Json.Bool true);
+                    ]))
+          in
+          let latency_s = Hca_util.Clock.now () -. t0 in
+          {
+            seed;
+            kernel = (try jstr j "kernel" with Client_error _ -> "?");
+            state = jstr j "state";
+            legal =
+              Option.value ~default:false
+                (Option.bind (Json.member "legal" j) Json.bool);
+            final_mii = Option.bind (Json.member "final_mii" j) Json.int;
+            copies =
+              Option.value ~default:0
+                (Option.bind (Json.member "copies" j) Json.int);
+            invariant = Option.bind (Json.member "invariant" j) Json.str;
+            latency_s;
+          })
+        pending)
+
+(* ------------------------------------------------------------------ *)
+
+let slices jobs l =
+  let buckets = Array.make jobs [] in
+  List.iteri (fun i x -> buckets.(i mod jobs) <- x :: buckets.(i mod jobs)) l;
+  Array.to_list (Array.map List.rev buckets)
+  |> List.filter (fun s -> s <> [])
+
+let verify_served ~max_size served =
+  match served.invariant with
+  | None -> None (* expired / crashed: nothing to compare *)
+  | Some remote ->
+      let ddg = Daemon.gen_kernel ~seed:served.seed ~max_size in
+      let local =
+        Report.run ~jobs:1 Hca_machine.Dspfabric.reference ddg
+      in
+      Some (Report.invariant_string local = remote)
+
+let emit_rows path served agg_fields =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun s ->
+          Printf.fprintf oc
+            "{\"experiment\":\"serve_loadtest\",\"kernel\":%S,\"seed\":%d,\
+             \"state\":%S,\"legal\":%b,\"final_mii\":%s,\"copies\":%d,\
+             \"latency_ms\":%.3f}\n"
+            s.kernel s.seed s.state s.legal
+            (match s.final_mii with Some m -> string_of_int m | None -> "null")
+            s.copies (s.latency_s *. 1000.))
+        served;
+      Printf.fprintf oc
+        "{\"experiment\":\"serve_loadtest\",\"kernel\":\"_aggregate\"%s}\n"
+        (String.concat ""
+           (List.map (fun (k, v) -> Printf.sprintf ",%S:%s" k v) agg_fields)))
+
+let run ~path ?(count = 25) ?(jobs = 2) ?(seed0 = 1) ?max_size ?deadline_s
+    ?(verify = false) ?json_out () =
+  try
+    let seeds = List.init count (fun i -> seed0 + i) in
+    let stats () =
+      let conn = connect path in
+      Fun.protect
+        ~finally:(fun () -> close conn)
+        (fun () -> rpc conn {|{"verb":"stats"}|})
+    in
+    let before = stats () in
+    let t0 = Hca_util.Clock.now () in
+    let served =
+      Hca_util.Domain_pool.parallel_map ~jobs
+        (worker ~path ~max_size ~deadline_s)
+        (slices jobs seeds)
+      |> List.concat
+      |> List.sort (fun a b -> compare a.seed b.seed)
+    in
+    let elapsed_s = Hca_util.Clock.now () -. t0 in
+    let after = stats () in
+    (* The latency histogram goes through lib/obs so the daemon's own
+       percentile machinery is what reports the tails. *)
+    Hca_obs.Obs.enable ();
+    Hca_obs.Obs.reset ();
+    List.iter
+      (fun s -> Hca_obs.Obs.observe "serve.latency_ms" (s.latency_s *. 1000.))
+      served;
+    let hist =
+      List.find_opt
+        (fun h -> h.Hca_obs.Obs.Summary.h_name = "serve.latency_ms")
+        (Hca_obs.Obs.Summary.collect ()).Hca_obs.Obs.Summary.histograms
+    in
+    let p50, p95, p99 =
+      match hist with
+      | Some h -> Hca_obs.Obs.Summary.(h.p50, h.p95, h.p99)
+      | None -> (0., 0., 0.)
+    in
+    let n_state st = List.length (List.filter (fun s -> s.state = st) served) in
+    let verified_results =
+      if not verify then []
+      else List.filter_map (verify_served ~max_size) served
+    in
+    let verified = List.length verified_results in
+    let verify_mismatches =
+      List.length (List.filter (fun ok -> not ok) verified_results)
+    in
+    let delta k = jint after k - jint before k in
+    let s =
+      {
+        count;
+        ok = n_state "done";
+        failed = n_state "failed" + n_state "cancelled";
+        deadline_exceeded = n_state "deadline_exceeded";
+        cache_hits = delta "cache_hits";
+        cache_misses = delta "cache_misses";
+        cache_entries = jint after "cache_entries";
+        loaded_entries = jint after "loaded_entries";
+        elapsed_s;
+        throughput_rps =
+          (if elapsed_s > 0. then float_of_int count /. elapsed_s else 0.);
+        p50_ms = p50;
+        p95_ms = p95;
+        p99_ms = p99;
+        verified;
+        verify_mismatches;
+      }
+    in
+    Option.iter
+      (fun out ->
+        emit_rows out served
+          [
+            ("count", string_of_int s.count);
+            ("ok", string_of_int s.ok);
+            ("failed", string_of_int s.failed);
+            ("deadline_exceeded", string_of_int s.deadline_exceeded);
+            ("elapsed_s", Printf.sprintf "%.6f" s.elapsed_s);
+            ("throughput_rps", Printf.sprintf "%.3f" s.throughput_rps);
+            ("p50_ms", Printf.sprintf "%.3f" s.p50_ms);
+            ("p95_ms", Printf.sprintf "%.3f" s.p95_ms);
+            ("p99_ms", Printf.sprintf "%.3f" s.p99_ms);
+            ("cache_hits", string_of_int s.cache_hits);
+            ("cache_misses", string_of_int s.cache_misses);
+            ("cache_entries", string_of_int s.cache_entries);
+            ("loaded_entries", string_of_int s.loaded_entries);
+            ("verified", string_of_int s.verified);
+            ("verify_mismatches", string_of_int s.verify_mismatches);
+          ])
+      json_out;
+    Ok s
+  with
+  | Client_error e -> Error e
+  | Sys_error e -> Error e
+
+let print_summary s =
+  Printf.printf "loadtest: %d requests in %.2f s (%.1f req/s)\n" s.count
+    s.elapsed_s s.throughput_rps;
+  Printf.printf "  states: ok %d, failed %d, deadline_exceeded %d\n" s.ok
+    s.failed s.deadline_exceeded;
+  Printf.printf "  latency ms: p50 %.1f  p95 %.1f  p99 %.1f\n" s.p50_ms
+    s.p95_ms s.p99_ms;
+  Printf.printf
+    "  cache: +%d hits / +%d misses this run; %d entries (%d loaded at start)\n"
+    s.cache_hits s.cache_misses s.cache_entries s.loaded_entries;
+  if s.verified > 0 then
+    Printf.printf "  verify: %d/%d bit-identical to local one-shot runs\n"
+      (s.verified - s.verify_mismatches)
+      s.verified

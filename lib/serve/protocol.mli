@@ -1,0 +1,68 @@
+(** The wire protocol of the compile service: newline-delimited JSON,
+    one request object in, one response object out, over a Unix-domain
+    socket or stdio.
+
+    Requests:
+    {v
+    {"verb":"submit", <kernel source>, "machine":{"n":8,"m":8,"k":8},
+     "config":{"beam":8,"candidates":4,"spread":false,"fanin_cap":4},
+     "priority":0, "deadline_s":2.5, "memo":true}
+    {"verb":"status", "id":3}
+    {"verb":"result", "id":3, "wait":true}
+    {"verb":"cancel", "id":3}
+    {"verb":"stats"}
+    {"verb":"ping"}
+    {"verb":"shutdown"}
+    v}
+
+    The kernel source is exactly one of ["kernel"] (a registry name),
+    ["ddg"] (a full kernel in the {!Hca_ddg.Ddg_io} text format, inline
+    as a JSON string), or ["gen_seed"] (+ optional ["gen_max_size"]) —
+    the seeded {!Hca_gen.Gen} generator, which is what the load-test
+    client replays.  Everything but the verb and the source is
+    optional.
+
+    Responses always carry ["ok"]: [{"ok":true, ...}] on success,
+    [{"ok":false,"error":"..."}] otherwise.  A finished job's result
+    row carries ["state"] ∈ {["done"], ["failed"],
+    ["deadline_exceeded"], ["cancelled"]}; ["deadline_exceeded"] still
+    reports the partial best-so-far fields when the search found any
+    legal configuration before the cut-off. *)
+
+type source =
+  | Named of string  (** a kernel of the baked-in registry *)
+  | Inline of string  (** [Ddg_io] text, content-digested server-side *)
+  | Gen of { seed : int; max_size : int option }
+
+type submit = {
+  source : source;
+  machine : (int * int * int) option;  (** (N, M, K) MUX capacities *)
+  beam : int option;
+  candidates : int option;
+  spread : bool option;
+  fanin_cap : int option;
+  priority : int;  (** higher runs sooner; default 0 *)
+  deadline_s : float option;
+      (** budget from submission (queue wait included) *)
+  memo : bool;  (** [false] opts this request out of the shared store *)
+}
+
+type request =
+  | Submit of submit
+  | Status of int
+  | Result of { id : int; wait : bool }
+  | Cancel of int
+  | Stats
+  | Ping
+  | Shutdown
+
+val request_of_line : string -> (request, string) result
+(** Parse one protocol line.  Malformed JSON, a non-object, a missing
+    or unknown verb, a missing id, or an ambiguous kernel source are
+    all [Error] with a client-presentable message. *)
+
+val error_response : string -> string
+(** [{"ok":false,"error":...}] — already newline-free. *)
+
+val ok_response : (string * Json.t) list -> string
+(** [{"ok":true, <fields>}]. *)

@@ -1,0 +1,46 @@
+let magic = "HCA-MEMO-STORE"
+
+let format_version = "v1"
+
+let default_stamp () = Hca_util.Stamp.store_stamp ~extra:format_version ()
+
+let save ~path ~stamp snapshot =
+  let tmp = path ^ ".tmp" in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (magic ^ "\n");
+        output_string oc (stamp ^ "\n");
+        Marshal.to_channel oc snapshot []);
+    Sys.rename tmp path;
+    Hca_core.Hierarchy.snapshot_length snapshot
+  with
+  | n -> Ok n
+  | exception Sys_error e -> Error ("store save: " ^ e)
+
+let load ~path ~stamp =
+  if not (Sys.file_exists path) then Ok None
+  else
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let header = try input_line ic with End_of_file -> "" in
+          if header <> magic then
+            Error (Printf.sprintf "not a memo store (bad magic %S)" header)
+          else
+            let file_stamp = try input_line ic with End_of_file -> "" in
+            if file_stamp <> stamp then Ok None (* stale: start cold *)
+            else
+              match
+                (Marshal.from_channel ic : Hca_core.Hierarchy.snapshot)
+              with
+              | snapshot -> Ok (Some snapshot)
+              | exception (Failure _ | End_of_file) ->
+                  Error "truncated or corrupt memo store payload")
+    with
+    | r -> r
+    | exception Sys_error e -> Error ("store load: " ^ e)

@@ -25,7 +25,7 @@ let rec worker_loop t =
       f ();
       worker_loop t
 
-let create ~jobs =
+let create ?(dedicated = false) ~jobs () =
   let jobs = max 1 jobs in
   let t =
     {
@@ -38,8 +38,23 @@ let create ~jobs =
       live = true;
     }
   in
-  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  (* Batch pools count the submitting domain as a lane; a dedicated pool
+     serves [submit]ted tasks while the owner does something else (the
+     daemon's accept loop), so every lane must be a spawned domain. *)
+  let spawned = if dedicated then jobs else jobs - 1 in
+  t.workers <- List.init spawned (fun _ -> Domain.spawn (fun () -> worker_loop t));
   t
+
+let submit t f =
+  Mutex.lock t.mutex;
+  let accepted = t.live && t.workers <> [] in
+  if accepted then begin
+    Queue.push (Run f) t.todo;
+    Condition.signal t.wake
+  end;
+  Mutex.unlock t.mutex;
+  if not accepted then
+    invalid_arg "Domain_pool.submit: pool is shut down or has no workers"
 
 let jobs t = t.jobs
 
@@ -120,7 +135,7 @@ let run (type b) (t : t) (thunks : (unit -> b) list) : b list =
 let map t f l = run t (List.map (fun x () -> f x) l)
 
 let with_pool ~jobs fn =
-  let t = create ~jobs in
+  let t = create ~jobs () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> fn t)
 
 let parallel_map ~jobs f l =

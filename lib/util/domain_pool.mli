@@ -15,9 +15,21 @@
 
 type t
 
-val create : jobs:int -> t
+val create : ?dedicated:bool -> jobs:int -> unit -> t
 (** Spawns [jobs - 1] worker domains ([jobs] is clamped to [>= 1]).
+    With [~dedicated:true] it spawns [jobs] instead: the owner does not
+    count as a lane — use this when the owner blocks elsewhere (e.g. a
+    server's accept loop) and only feeds the pool via {!submit}.
     The pool must be {!shutdown} before the program exits. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Fire-and-forget: enqueue one task for whichever worker frees up
+    first.  The task must not raise (wrap it); there is no completion
+    signal — build one from the task body (the daemon's job queue
+    does).  {!shutdown} drains every task submitted before it.
+    @raise Invalid_argument after shutdown, or on a pool with no
+    spawned workers ([create ~jobs:1] without [~dedicated:true] —
+    nothing would ever run the task). *)
 
 val jobs : t -> int
 

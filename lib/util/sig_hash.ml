@@ -29,6 +29,10 @@ let add_int_array t a =
   add_int t (Array.length a);
   Array.iter (fun x -> add_int t x) a
 
+let add_string t s =
+  add_int t (String.length s);
+  String.iter (fun c -> add_int t (Char.code c)) s
+
 let value t = t.h land max_int
 
 let ints l =

@@ -23,6 +23,11 @@ val add_int_list : t -> int list -> unit
 
 val add_int_array : t -> int array -> unit
 
+val add_string : t -> string -> unit
+(** Length-prefixed over the bytes — unlike [Hashtbl.hash], which
+    samples a bounded prefix, every byte participates; used to digest
+    client-supplied kernel text into a cache-safe name. *)
+
 val value : t -> int
 (** The accumulated signature, non-negative. *)
 

@@ -8,3 +8,10 @@ val git_describe : unit -> string
 val hash : 'a -> string
 (** Stable-in-process structural fingerprint as 8 hex digits, for
     tagging rows with the configuration they were produced under. *)
+
+val store_stamp : ?extra:string -> unit -> string
+(** Invalidation key of on-disk caches whose entries are only
+    meaningful to the code that wrote them: the {!git_describe} of the
+    tree plus any caller-supplied [extra] (format version, config
+    hash).  A persistent memo store whose recorded stamp differs from
+    the current one is discarded as stale, never read. *)

@@ -1,0 +1,466 @@
+(* Tests for the lib/serve compile daemon: JSON/protocol round-trips
+   (malformed input included), job-queue priority / cancel / deadline
+   semantics, the in-process daemon handler, and the persistent memo
+   store — warm-restart bit-equality against a cold run plus
+   stale-stamp invalidation. *)
+
+open Hca_serve
+
+let tmp_store name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "hca_test_%s_%d.bin" name (Unix.getpid ()))
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let cases =
+    [
+      {|null|};
+      {|true|};
+      {|42|};
+      {|-1.5|};
+      {|"a\"b\\c\nd"|};
+      {|[1,[2,3],{"k":null}]|};
+      {|{"a":1,"b":[true,false],"c":{"d":"e"}}|};
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Error e -> Alcotest.failf "parse %s: %s" s e
+      | Ok j -> (
+          let printed = Json.to_string j in
+          match Json.parse printed with
+          | Error e -> Alcotest.failf "reparse %s: %s" printed e
+          | Ok j' ->
+              Alcotest.(check bool)
+                (Printf.sprintf "roundtrip %s" s)
+                true (j = j')))
+    cases
+
+let test_json_escapes () =
+  match Json.parse {|"A\té"|} with
+  | Ok (Json.Str s) -> Alcotest.(check string) "unicode escapes" "A\t\xc3\xa9" s
+  | Ok _ -> Alcotest.fail "expected a string"
+  | Error e -> Alcotest.fail e
+
+let test_json_errors () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "accepted malformed %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; {|{"a":}|}; "tru"; {|"unterminated|}; "1 2"; "{\"a\":1,}" ]
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_protocol_verbs () =
+  (match Protocol.request_of_line {|{"verb":"ping"}|} with
+  | Ok Protocol.Ping -> ()
+  | _ -> Alcotest.fail "ping");
+  (match Protocol.request_of_line {|{"verb":"stats"}|} with
+  | Ok Protocol.Stats -> ()
+  | _ -> Alcotest.fail "stats");
+  (match Protocol.request_of_line {|{"verb":"shutdown"}|} with
+  | Ok Protocol.Shutdown -> ()
+  | _ -> Alcotest.fail "shutdown");
+  (match Protocol.request_of_line {|{"verb":"status","id":3}|} with
+  | Ok (Protocol.Status 3) -> ()
+  | _ -> Alcotest.fail "status");
+  (match Protocol.request_of_line {|{"verb":"result","id":7,"wait":true}|} with
+  | Ok (Protocol.Result { id = 7; wait = true }) -> ()
+  | _ -> Alcotest.fail "result wait");
+  match Protocol.request_of_line {|{"verb":"cancel","id":1}|} with
+  | Ok (Protocol.Cancel 1) -> ()
+  | _ -> Alcotest.fail "cancel"
+
+let test_protocol_submit () =
+  match
+    Protocol.request_of_line
+      {|{"verb":"submit","kernel":"fir2dim","machine":{"n":4,"m":4,"k":4},"config":{"beam":2,"candidates":3,"spread":true,"fanin_cap":5},"priority":9,"deadline_s":1.5,"memo":false}|}
+  with
+  | Ok (Protocol.Submit s) ->
+      (match s.Protocol.source with
+      | Protocol.Named "fir2dim" -> ()
+      | _ -> Alcotest.fail "source");
+      Alcotest.(check (option (triple int int int)))
+        "machine" (Some (4, 4, 4)) s.Protocol.machine;
+      Alcotest.(check (option int)) "beam" (Some 2) s.Protocol.beam;
+      Alcotest.(check (option int)) "candidates" (Some 3) s.Protocol.candidates;
+      Alcotest.(check (option bool)) "spread" (Some true) s.Protocol.spread;
+      Alcotest.(check (option int)) "fanin_cap" (Some 5) s.Protocol.fanin_cap;
+      Alcotest.(check int) "priority" 9 s.Protocol.priority;
+      Alcotest.(check (option (float 1e-9)))
+        "deadline" (Some 1.5) s.Protocol.deadline_s;
+      Alcotest.(check bool) "memo" false s.Protocol.memo
+  | Ok _ -> Alcotest.fail "not a submit"
+  | Error e -> Alcotest.fail e
+
+let test_protocol_rejects () =
+  let expect_error line =
+    match Protocol.request_of_line line with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted %s" line
+  in
+  expect_error "not json at all";
+  expect_error {|[1,2,3]|};
+  expect_error {|{"no_verb":true}|};
+  expect_error {|{"verb":"frobnicate"}|};
+  expect_error {|{"verb":"status"}|};
+  expect_error {|{"verb":"status","id":-1}|};
+  expect_error {|{"verb":"submit"}|};
+  expect_error {|{"verb":"submit","kernel":"a","gen_seed":1}|};
+  expect_error {|{"verb":"submit","kernel":"a","deadline_s":-1}|};
+  expect_error {|{"verb":"submit","kernel":"a","machine":{"n":0,"m":8,"k":8}}|}
+
+(* ------------------------------------------------------------------ *)
+(* Job queue                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let small_kernel seed = Daemon.gen_kernel ~seed ~max_size:(Some 6)
+
+let quick_report () =
+  Hca_core.Report.run Hca_machine.Dspfabric.reference (small_kernel 1)
+
+let test_jobq_priority_order () =
+  let q = Jobq.create () in
+  let order = ref [] in
+  let mk tag = fun ~deadline_s:_ ->
+    order := tag :: !order;
+    quick_report ()
+  in
+  let a = Jobq.submit q ~label:"a" ~priority:0 (mk "a") in
+  let b = Jobq.submit q ~label:"b" ~priority:5 (mk "b") in
+  let c = Jobq.submit q ~label:"c" ~priority:5 (mk "c") in
+  let d = Jobq.submit q ~label:"d" ~priority:1 (mk "d") in
+  while Jobq.pump q do () done;
+  (* b and c share the top priority: FIFO between them; then d, then a. *)
+  Alcotest.(check (list string)) "drain order" [ "b"; "c"; "d"; "a" ]
+    (List.rev !order);
+  List.iter
+    (fun id ->
+      match Jobq.state q id with
+      | Some (Jobq.Finished (Jobq.Solved _)) -> ()
+      | _ -> Alcotest.failf "job %d not solved" id)
+    [ a; b; c; d ]
+
+let test_jobq_cancel_and_expiry () =
+  let q = Jobq.create () in
+  let ran = ref false in
+  let id =
+    Jobq.submit q ~label:"x" (fun ~deadline_s:_ ->
+        ran := true;
+        quick_report ())
+  in
+  (match Jobq.cancel q id with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "cancel is terminal" true
+    (Jobq.state q id = Some Jobq.Cancelled);
+  (match Jobq.cancel q id with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "double cancel accepted");
+  Alcotest.(check bool) "cancelled job never ran" false !ran;
+  Alcotest.(check bool) "cancelled job left the queue" false (Jobq.pump q);
+  (* A zero deadline expires while queued: the work closure never runs. *)
+  let id2 =
+    Jobq.submit q ~label:"y" ~deadline_s:0. (fun ~deadline_s:_ ->
+        ran := true;
+        quick_report ())
+  in
+  Alcotest.(check bool) "expiry consumed a pump step" true (Jobq.pump q);
+  Alcotest.(check bool) "expired without running" true
+    (Jobq.state q id2 = Some (Jobq.Finished Jobq.Expired) && not !ran);
+  (match Jobq.cancel q 999 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "cancelled unknown id");
+  let tot = Jobq.totals q in
+  Alcotest.(check int) "cancelled counted" 1 tot.Jobq.cancelled;
+  Alcotest.(check int) "expired counted" 1 tot.Jobq.expired
+
+let test_jobq_crash_isolated () =
+  let q = Jobq.create () in
+  let id =
+    Jobq.submit q ~label:"boom" (fun ~deadline_s:_ -> failwith "kaboom")
+  in
+  ignore (Jobq.pump q);
+  match Jobq.state q id with
+  | Some (Jobq.Finished (Jobq.Crashed msg)) ->
+      Alcotest.(check bool) "message kept" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "crash not captured"
+
+(* ------------------------------------------------------------------ *)
+(* Report deadline semantics                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_report_deadline_partial () =
+  let fabric = Hca_machine.Dspfabric.reference in
+  let ddg = Hca_kernels.Registry.find "fir2dim" |> Option.get |> fun f -> f () in
+  (* An expired budget must yield a structured timeout, never raise. *)
+  let r = Hca_core.Report.run ~deadline_s:0. fabric ddg in
+  Alcotest.(check bool) "timed_out set" true r.Hca_core.Report.timed_out;
+  Alcotest.(check bool) "structured outcome" true
+    (r.Hca_core.Report.legal || r.Hca_core.Report.error <> None);
+  (* No deadline: flag stays clear on the same input. *)
+  let r2 = Hca_core.Report.run fabric ddg in
+  Alcotest.(check bool) "no deadline, no flag" false
+    r2.Hca_core.Report.timed_out;
+  Alcotest.(check bool) "full run legal" true r2.Hca_core.Report.legal
+
+(* ------------------------------------------------------------------ *)
+(* Daemon handler (in-process, no pool: deterministic pumping)         *)
+(* ------------------------------------------------------------------ *)
+
+let line_of = function
+  | Daemon.Line s -> s
+  | Daemon.Wait_for _ -> Alcotest.fail "unexpected deferred reply"
+  | Daemon.Shutdown_after s -> s
+
+let ok_json s =
+  match Json.parse s with
+  | Ok j ->
+      Alcotest.(check (option bool))
+        "ok field" (Some true)
+        (Option.bind (Json.member "ok" j) Json.bool);
+      j
+  | Error e -> Alcotest.failf "bad response %S: %s" s e
+
+let err_json s =
+  match Json.parse s with
+  | Ok j ->
+      Alcotest.(check (option bool))
+        "ok field" (Some false)
+        (Option.bind (Json.member "ok" j) Json.bool);
+      j
+  | Error e -> Alcotest.failf "bad response %S: %s" s e
+
+let jint j k = Option.get (Option.bind (Json.member k j) Json.int)
+
+let jstr j k = Option.get (Option.bind (Json.member k j) Json.str)
+
+let test_daemon_submit_result () =
+  let t = Daemon.create () in
+  let j =
+    ok_json (line_of (Daemon.handle_line t {|{"verb":"submit","kernel":"fir2dim"}|}))
+  in
+  let id = jint j "id" in
+  (* Not finished yet (nothing pumps without a pool): result without
+     wait is a client error, with wait defers. *)
+  ignore
+    (err_json
+       (line_of
+          (Daemon.handle_line t
+             (Printf.sprintf {|{"verb":"result","id":%d}|} id))));
+  (match
+     Daemon.handle_line t
+       (Printf.sprintf {|{"verb":"result","id":%d,"wait":true}|} id)
+   with
+  | Daemon.Wait_for i -> Alcotest.(check int) "deferred id" id i
+  | _ -> Alcotest.fail "expected Wait_for");
+  ignore (Jobq.wait (Daemon.jobq t) id);
+  let r = ok_json (Daemon.result_line t id) in
+  Alcotest.(check string) "state" "done" (jstr r "state");
+  Alcotest.(check string) "kernel" "fir2dim" (jstr r "kernel");
+  Alcotest.(check bool) "legal" true
+    (Option.get (Option.bind (Json.member "legal" r) Json.bool));
+  Alcotest.(check bool) "invariant present" true
+    (Json.member "invariant" r <> None);
+  let st = ok_json (line_of (Daemon.handle_line t {|{"verb":"stats"}|})) in
+  Alcotest.(check int) "submitted" 1 (jint st "submitted");
+  Alcotest.(check int) "finished" 1 (jint st "finished");
+  Alcotest.(check bool) "cache grew" true (jint st "cache_entries" > 0)
+
+let test_daemon_rejects () =
+  let t = Daemon.create () in
+  ignore (err_json (line_of (Daemon.handle_line t "not json")));
+  ignore (err_json (line_of (Daemon.handle_line t {|{"verb":"frobnicate"}|})));
+  ignore
+    (err_json (line_of (Daemon.handle_line t {|{"verb":"status","id":42}|})));
+  ignore
+    (err_json
+       (line_of (Daemon.handle_line t {|{"verb":"submit","kernel":"nope"}|})));
+  ignore
+    (err_json
+       (line_of (Daemon.handle_line t {|{"verb":"submit","ddg":"garbage"}|})))
+
+let test_daemon_cancel_and_shutdown () =
+  let t = Daemon.create () in
+  let j =
+    ok_json
+      (line_of (Daemon.handle_line t {|{"verb":"submit","gen_seed":3}|}))
+  in
+  let id = jint j "id" in
+  let c =
+    ok_json
+      (line_of
+         (Daemon.handle_line t (Printf.sprintf {|{"verb":"cancel","id":%d}|} id)))
+  in
+  Alcotest.(check string) "cancelled" "cancelled" (jstr c "state");
+  let r = ok_json (Daemon.result_line t id) in
+  Alcotest.(check string) "result of cancelled" "cancelled" (jstr r "state");
+  (match Daemon.handle_line t {|{"verb":"shutdown"}|} with
+  | Daemon.Shutdown_after _ -> ()
+  | _ -> Alcotest.fail "expected Shutdown_after");
+  (* Post-shutdown submissions are refused. *)
+  ignore
+    (err_json
+       (line_of (Daemon.handle_line t {|{"verb":"submit","gen_seed":4}|})))
+
+let test_daemon_deadline_expired_row () =
+  let t = Daemon.create () in
+  let j =
+    ok_json
+      (line_of
+         (Daemon.handle_line t
+            {|{"verb":"submit","gen_seed":5,"deadline_s":0}|}))
+  in
+  let id = jint j "id" in
+  ignore (Jobq.wait (Daemon.jobq t) id);
+  let r = ok_json (Daemon.result_line t id) in
+  Alcotest.(check string) "deadline row" "deadline_exceeded" (jstr r "state")
+
+(* Inline kernels are keyed by content, not by their given name: two
+   different graphs must get different cache identities. *)
+let test_daemon_inline_content_named () =
+  let t = Daemon.create () in
+  let submit ddg =
+    let line =
+      Json.to_string
+        (Json.Obj
+           [ ("verb", Json.Str "submit"); ("ddg", Json.Str ddg) ])
+    in
+    let j = ok_json (line_of (Daemon.handle_line t line)) in
+    jstr j "kernel"
+  in
+  let g1 = Hca_ddg.Ddg_io.to_string (small_kernel 1) in
+  let g2 = Hca_ddg.Ddg_io.to_string (small_kernel 2) in
+  let n1 = submit g1 and n2 = submit g2 and n1' = submit g1 in
+  Alcotest.(check bool) "different graphs, different names" true (n1 <> n2);
+  Alcotest.(check string) "same graph, same name" n1 n1'
+
+(* ------------------------------------------------------------------ *)
+(* Persistent store                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let run_one t line =
+  let j = ok_json (line_of (Daemon.handle_line t line)) in
+  let id = jint j "id" in
+  ignore (Jobq.wait (Daemon.jobq t) id);
+  ok_json (Daemon.result_line t id)
+
+let test_store_warm_restart_bit_equal () =
+  let path = tmp_store "warm" in
+  if Sys.file_exists path then Sys.remove path;
+  let submit = {|{"verb":"submit","kernel":"fir2dim"}|} in
+  (* Cold lifetime. *)
+  let a = Daemon.create ~store_path:path () in
+  Alcotest.(check int) "cold start" 0 (Daemon.loaded_entries a);
+  let ra = run_one a submit in
+  (match Daemon.flush_store a with
+  | Ok (Some n) -> Alcotest.(check bool) "entries flushed" true (n > 0)
+  | _ -> Alcotest.fail "flush failed");
+  (* Warm lifetime: inherits the store, answers bit-identically. *)
+  let b = Daemon.create ~store_path:path () in
+  Alcotest.(check bool) "warm start" true (Daemon.loaded_entries b > 0);
+  let rb = run_one b submit in
+  Alcotest.(check string) "bit-identical across lifetimes"
+    (jstr ra "invariant") (jstr rb "invariant");
+  Alcotest.(check bool) "warm run hit the store" true
+    (jint rb "cache_hits" > 0);
+  Alcotest.(check int) "warm run missed nothing" 0 (jint rb "cache_misses");
+  Sys.remove path
+
+let test_store_stale_stamp_invalidation () =
+  let path = tmp_store "stale" in
+  if Sys.file_exists path then Sys.remove path;
+  let a = Daemon.create ~store_path:path ~stamp:"stamp-A" () in
+  ignore (run_one a {|{"verb":"submit","gen_seed":11}|});
+  (match Daemon.flush_store a with
+  | Ok (Some _) -> ()
+  | _ -> Alcotest.fail "flush failed");
+  (* Same stamp: loads. *)
+  let b = Daemon.create ~store_path:path ~stamp:"stamp-A" () in
+  Alcotest.(check bool) "same stamp loads" true (Daemon.loaded_entries b > 0);
+  (* Different stamp: the whole file is discarded, cold start. *)
+  let c = Daemon.create ~store_path:path ~stamp:"stamp-B" () in
+  Alcotest.(check int) "stale stamp discarded" 0 (Daemon.loaded_entries c);
+  (* Direct load mirrors both verdicts. *)
+  (match Store.load ~path ~stamp:"stamp-A" with
+  | Ok (Some _) -> ()
+  | _ -> Alcotest.fail "expected a snapshot");
+  (match Store.load ~path ~stamp:"stamp-B" with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "expected stale rejection");
+  Sys.remove path
+
+let test_store_corrupt_and_missing () =
+  let path = tmp_store "corrupt" in
+  (match Store.load ~path:(path ^ ".nope") ~stamp:"s" with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "missing file should be a cold start");
+  let oc = open_out_bin path in
+  output_string oc "definitely not a store\n";
+  close_out oc;
+  (match Store.load ~path ~stamp:"s" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "corrupt store accepted");
+  (* A corrupt store must not kill the daemon: it warns and starts cold. *)
+  let t = Daemon.create ~store_path:path () in
+  Alcotest.(check int) "daemon survives corruption" 0 (Daemon.loaded_entries t);
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "escapes" `Quick test_json_escapes;
+          Alcotest.test_case "errors" `Quick test_json_errors;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "verbs" `Quick test_protocol_verbs;
+          Alcotest.test_case "submit" `Quick test_protocol_submit;
+          Alcotest.test_case "rejects" `Quick test_protocol_rejects;
+        ] );
+      ( "jobq",
+        [
+          Alcotest.test_case "priority order" `Quick test_jobq_priority_order;
+          Alcotest.test_case "cancel and expiry" `Quick
+            test_jobq_cancel_and_expiry;
+          Alcotest.test_case "crash isolated" `Quick test_jobq_crash_isolated;
+        ] );
+      ( "deadline",
+        [
+          Alcotest.test_case "report partial best-so-far" `Quick
+            test_report_deadline_partial;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "submit/result" `Quick test_daemon_submit_result;
+          Alcotest.test_case "rejects" `Quick test_daemon_rejects;
+          Alcotest.test_case "cancel + shutdown" `Quick
+            test_daemon_cancel_and_shutdown;
+          Alcotest.test_case "deadline row" `Quick
+            test_daemon_deadline_expired_row;
+          Alcotest.test_case "inline content naming" `Quick
+            test_daemon_inline_content_named;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "warm restart bit-equal" `Quick
+            test_store_warm_restart_bit_equal;
+          Alcotest.test_case "stale stamp invalidation" `Quick
+            test_store_stale_stamp_invalidation;
+          Alcotest.test_case "corrupt and missing" `Quick
+            test_store_corrupt_and_missing;
+        ] );
+    ]
