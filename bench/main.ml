@@ -85,6 +85,15 @@ let jstr = Printf.sprintf "%S"
 
 let jbool = string_of_bool
 
+(* Allocation-churn columns, appended to every NDJSON row built from a
+   [Report.t]: the flat-layout work is judged on these as much as on the
+   wall clock.  Meaningful at [--jobs 1] (the counters are per-domain). *)
+let alloc_fields (r : Report.t) =
+  [
+    ("alloc_mb", jfloat r.Report.alloc_mb);
+    ("minor_gcs", jint r.Report.minor_gcs);
+  ]
+
 let left h = (h, Hca_util.Tabular.Left)
 
 let right h = (h, Hca_util.Tabular.Right)
@@ -157,7 +166,7 @@ let table1 () =
              ("cache_misses", jint r.Report.cache_misses);
              ("reused_subproblems", jint r.Report.reused_subproblems);
            ]
-          @ phases)
+          @ alloc_fields r @ phases)
       else
         Hca_util.Tabular.add_row t
           [
@@ -261,7 +270,7 @@ let fig_scaling () =
              ("flat_runtime_s", jfloat flat.Hca_baseline.Flat_ica.runtime_s);
              ("flat_mux_violations", jopt_int violations);
            ]
-          @ phases)
+          @ alloc_fields hca @ phases)
       else
         Hca_util.Tabular.add_row t
           [
@@ -535,7 +544,7 @@ let optgap () =
              ("sat_conflicts", jint oracle.Hca_exact.Oracle.explored);
              ("runtime_s", jfloat oracle.Hca_exact.Oracle.runtime_s);
            ]
-          @ phases)
+          @ alloc_fields hca @ phases)
       else
         Hca_util.Tabular.add_row t
           [
@@ -671,7 +680,9 @@ let bechamel () =
   let open Bechamel in
   let open Toolkit in
   let hca_test name f =
-    Test.make ~name (Staged.stage (fun () -> ignore (Report.run reference (f ()))))
+    Test.make ~name
+      (Staged.stage (fun () ->
+           ignore (Report.run ~jobs:!jobs reference (f ()))))
   in
   let tests =
     [
@@ -725,6 +736,71 @@ let bechamel () =
              (Staged.stage (fun () ->
                   State.recompute_cost see_state ~target_ii:see_ii
                     ~weights:Cost.default_weights));
+         ]);
+      (* Batched frontier scoring against the per-candidate
+         speculate/penalise/undo loop it replaced: one mid-search
+         frontier state, the same candidate clusters, the same tear
+         penalty — the scores are bit-identical (property tested), so
+         the delta is pure data-layout/batching win. *)
+      (let spec_problem =
+         let ddg = Hca_kernels.Fir2dim.ddg () in
+         let pg =
+           Pattern_graph.complete ~name:"bench-spec"
+             ~capacities:(Array.make 4 { Resource.alus = 8; ags = 8 })
+             ~max_in:4
+         in
+         Problem.of_ddg ~name:"bench-spec" ~ddg ~pg ()
+       in
+       let ii = 8 and weights = Cost.default_weights in
+       let st = ref (State.create spec_problem) in
+       (* Park every node but the last on some legal cluster, leaving a
+          deep frontier state with one unassigned node to score. *)
+       let node = Problem.size spec_problem - 1 in
+       for n = 0 to node - 1 do
+         let rec try_from c =
+           if c < 4 then
+             match
+               State.try_assign !st ~node:n ~cluster:c ~ii ~target_ii:ii
+                 ~weights
+             with
+             | Ok st' -> st := st'
+             | Error _ -> try_from (c + 1)
+         in
+         try_from 0
+       done;
+       let st = !st in
+       let clusters = [| 0; 1; 2; 3 |] in
+       let scores = Array.make (Array.length clusters) nan in
+       let tail_of_region = 3 in
+       Test.make_grouped ~name:"spec" ~fmt:"%s/%s"
+         [
+           Test.make ~name:"batched-score-moves"
+             (Staged.stage (fun () ->
+                  ignore
+                    (State.score_moves st ~node ~clusters ~ii ~target_ii:ii
+                       ~weights ~tail_of_region ~scores
+                      : int)));
+           Test.make ~name:"per-candidate-speculate"
+             (Staged.stage (fun () ->
+                  Array.iteri
+                    (fun k cluster ->
+                      scores.(k) <- nan;
+                      match
+                        State.speculate_assign st ~node ~cluster ~ii
+                          ~target_ii:ii ~weights
+                      with
+                      | Ok () ->
+                          let deficit =
+                            tail_of_region - 1
+                            - State.free_issue_slots st ~cluster ~ii
+                          in
+                          if deficit > 0 then
+                            State.add_penalty st
+                              (weights.Cost.w_tear *. float_of_int deficit);
+                          scores.(k) <- State.cost st;
+                          State.undo_speculation st
+                      | Error _ -> ())
+                    clusters));
          ]);
       Test.make ~name:"sched/modulo-fir2dim"
         (Staged.stage
@@ -861,7 +937,7 @@ let extended () =
              ("reused_subproblems", jint r.Report.reused_subproblems);
              ("wires", jopt_int wires);
            ]
-          @ phases)
+          @ alloc_fields r @ phases)
       else
         Hca_util.Tabular.add_row t
           [

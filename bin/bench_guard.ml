@@ -1,6 +1,7 @@
 (* bench_guard: quality-regression gate over bench NDJSON output.
 
-   Usage: bench_guard BASELINE.json CURRENT.json
+   Usage: bench_guard [--runtime-budget EXP/KERNEL=SECONDS]...
+                      BASELINE.json CURRENT.json
 
    Both files hold newline-delimited JSON records as emitted by
    [bench/main.exe --json].  For every (experiment, kernel) row present
@@ -12,8 +13,15 @@
    "optgap" experiment is skipped: its oracle columns depend on a
    wall-clock SAT budget, so they are not stable across machines.
 
-   Exit status: 0 clean, 1 on any quality regression, 2 on usage or
-   parse errors.
+   Each repeatable [--runtime-budget exp/kernel=seconds] flag adds a
+   wall-clock ceiling on one CURRENT row's "runtime_s": a row over its
+   budget (or a budgeted row that is missing) fails the gate exactly
+   like a quality regression.  Budgets are opt-in per row, so the
+   default gate stays machine-independent; CI pins them only on the
+   kernels whose hot-path performance is a tracked deliverable.
+
+   Exit status: 0 clean, 1 on any quality regression or busted runtime
+   budget, 2 on usage or parse errors.
 
    The parser below handles exactly the flat one-line objects
    [emit_json] produces (string keys, unnested scalar values) — not
@@ -97,9 +105,52 @@ let load path =
   close_in ic;
   List.rev !rows
 
+let usage () =
+  prerr_endline
+    "usage: bench_guard [--runtime-budget EXP/KERNEL=SECONDS]... \
+     BASELINE.json CURRENT.json";
+  exit 2
+
+(* "exp/kernel=seconds" -> ((exp, kernel), seconds) *)
+let parse_budget spec =
+  match String.index_opt spec '=' with
+  | None -> None
+  | Some eq -> (
+      let target = String.sub spec 0 eq in
+      let secs = String.sub spec (eq + 1) (String.length spec - eq - 1) in
+      match (String.index_opt target '/', float_of_string_opt secs) with
+      | Some slash, Some s when s > 0.0 ->
+          let exp = String.sub target 0 slash in
+          let kernel =
+            String.sub target (slash + 1) (String.length target - slash - 1)
+          in
+          if exp = "" || kernel = "" then None else Some ((exp, kernel), s)
+      | _ -> None)
+
 let () =
-  match Sys.argv with
-  | [| _; baseline_path; current_path |] -> (
+  let budgets = ref [] in
+  let paths = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--runtime-budget" :: spec :: rest -> (
+        match parse_budget spec with
+        | Some b ->
+            budgets := b :: !budgets;
+            parse_args rest
+        | None ->
+            Printf.eprintf
+              "bench_guard: bad --runtime-budget %S (want exp/kernel=seconds)\n"
+              spec;
+            exit 2)
+    | [ "--runtime-budget" ] -> usage ()
+    | p :: rest ->
+        paths := p :: !paths;
+        parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let budgets = List.rev !budgets in
+  match List.rev !paths with
+  | [ baseline_path; current_path ] -> (
       match (load baseline_path, load current_path) with
       | exception Failure msg ->
           Printf.eprintf "bench_guard: %s\n" msg;
@@ -149,6 +200,38 @@ let () =
                 Printf.printf "  baseline row %s/%s missing from current run\n"
                   exp kernel)
             baseline;
+          (* Row keys carry their JSON quotes; budget specs do not. *)
+          List.iter
+            (fun ((exp, kernel), budget_s) ->
+              let key = (Printf.sprintf "%S" exp, Printf.sprintf "%S" kernel) in
+              match List.assoc_opt key current with
+              | None ->
+                  incr regressions;
+                  Printf.printf
+                    "REGRESSION %s/%s: runtime budget %.3fs set but row \
+                     missing from current run\n"
+                    exp kernel budget_s
+              | Some fields -> (
+                  match
+                    Option.bind
+                      (List.assoc_opt "runtime_s" fields)
+                      float_of_string_opt
+                  with
+                  | None ->
+                      incr regressions;
+                      Printf.printf
+                        "REGRESSION %s/%s: runtime budget %.3fs set but row \
+                         has no runtime_s\n"
+                        exp kernel budget_s
+                  | Some t when t > budget_s ->
+                      incr regressions;
+                      Printf.printf
+                        "REGRESSION %s/%s: runtime_s %.3f over budget %.3f\n"
+                        exp kernel t budget_s
+                  | Some t ->
+                      Printf.printf "  %s/%s runtime_s %.3f within budget %.3f\n"
+                        exp kernel t budget_s))
+            budgets;
           if !regressions > 0 then begin
             Printf.printf "bench_guard: %d quality regression(s) over %d rows\n"
               !regressions !compared;
@@ -157,6 +240,4 @@ let () =
           else
             Printf.printf "bench_guard: %d rows compared, quality unchanged\n"
               !compared)
-  | _ ->
-      prerr_endline "usage: bench_guard BASELINE.json CURRENT.json";
-      exit 2
+  | _ -> usage ()

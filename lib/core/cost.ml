@@ -34,25 +34,51 @@ type summary = {
 
 let ceil_div a b = (a + b - 1) / b
 
-let cluster_mii ~demand ~capacity ~receives ~max_in =
-  let open Hca_machine in
-  let p = Resource.min_ii ~demand ~capacity in
+(* Scalar twin of {!cluster_mii} for the flat-layout hot path: same
+   arithmetic on unpacked demand/capacity components, so the SEE's
+   per-cluster refresh never builds [Resource.t] records. *)
+let cluster_mii_flat ~d_alus ~d_ags ~c_alus ~c_ags ~receives ~max_in =
+  (* Inlined [Resource.min_ii]. *)
+  let need amount cap =
+    if amount = 0 then 1
+    else if cap = 0 then max_int
+    else ceil_div amount cap
+  in
   let p =
-    if capacity.Resource.alus > 0 then
-      max p (ceil_div (demand.Resource.alus + receives) capacity.Resource.alus)
-    else p
+    max
+      (need (d_alus + d_ags) (max c_alus c_ags))
+      (max (need d_alus c_alus) (need d_ags c_ags))
+  in
+  let p =
+    if c_alus > 0 then max p (ceil_div (d_alus + receives) c_alus) else p
   in
   if receives > 0 then max p (ceil_div receives max_in) else p
 
-let score w s =
-  let overshoot = max 0 (s.projected_ii - s.target_ii) in
-  (w.w_copy *. float_of_int s.copies)
-  +. (w.w_balance *. s.util_spread)
+let cluster_mii ~demand ~capacity ~receives ~max_in =
+  let open Hca_machine in
+  cluster_mii_flat ~d_alus:demand.Resource.alus ~d_ags:demand.Resource.ags
+    ~c_alus:capacity.Resource.alus ~c_ags:capacity.Resource.ags ~receives
+    ~max_in
+
+(* The one and only scoring arithmetic: {!score} and the SEE's batch
+   scorer both land here, so "bit-identical" is true by construction —
+   the float operations and their order exist exactly once. *)
+let score_flat w ~copies ~max_util ~util_spread ~projected_ii ~target_ii
+    ~used_in_ports ~fanin_sat ~carried_cuts =
+  let overshoot = max 0 (projected_ii - target_ii) in
+  (w.w_copy *. float_of_int copies)
+  +. (w.w_balance *. util_spread)
   +. (w.w_pressure *. float_of_int overshoot)
-  +. (w.w_port *. float_of_int s.used_in_ports)
-  +. (w.w_util *. s.max_util)
-  +. (w.w_fanin *. s.fanin_sat)
-  +. (w.w_carried *. float_of_int s.carried_cuts)
+  +. (w.w_port *. float_of_int used_in_ports)
+  +. (w.w_util *. max_util)
+  +. (w.w_fanin *. fanin_sat)
+  +. (w.w_carried *. float_of_int carried_cuts)
+
+let score w s =
+  score_flat w ~copies:s.copies ~max_util:s.max_util
+    ~util_spread:s.util_spread ~projected_ii:s.projected_ii
+    ~target_ii:s.target_ii ~used_in_ports:s.used_in_ports
+    ~fanin_sat:s.fanin_sat ~carried_cuts:s.carried_cuts
 
 let pp_weights ppf w =
   Format.fprintf ppf

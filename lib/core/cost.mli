@@ -48,6 +48,22 @@ type summary = {
 val score : weights -> summary -> float
 (** Lower is better.  Monotone in every summary component. *)
 
+val score_flat :
+  weights ->
+  copies:int ->
+  max_util:float ->
+  util_spread:float ->
+  projected_ii:int ->
+  target_ii:int ->
+  used_in_ports:int ->
+  fanin_sat:float ->
+  carried_cuts:int ->
+  float
+(** {!score} over unpacked summary components.  The float arithmetic
+    exists exactly once — [score] is defined in terms of this — so the
+    SEE's batch scorer, which never materialises a [summary] record,
+    is bit-identical to the record path by construction. *)
+
 val cluster_mii :
   demand:Hca_machine.Resource.t ->
   capacity:Hca_machine.Resource.t ->
@@ -63,5 +79,18 @@ val cluster_mii :
          (ceil (receives / max_in))]
     — the FU/issue window, the receive primitives competing with ALU
     ops for the issue slot, and the incoming-wire serialisation. *)
+
+val cluster_mii_flat :
+  d_alus:int ->
+  d_ags:int ->
+  c_alus:int ->
+  c_ags:int ->
+  receives:int ->
+  max_in:int ->
+  int
+(** {!cluster_mii} over unpacked demand/capacity components, for the
+    flat-layout refresh path that keeps cluster demand as
+    struct-of-arrays and never builds [Resource.t] records.
+    [cluster_mii] is defined in terms of this. *)
 
 val pp_weights : Format.formatter -> weights -> unit

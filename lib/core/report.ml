@@ -22,6 +22,8 @@ type t = {
   memo_enabled : bool;
   timed_out : bool;
   runtime_s : float;
+  alloc_mb : float;
+  minor_gcs : int;
   error : string option;
   result : Hierarchy.t option;
 }
@@ -50,6 +52,8 @@ let base_row ~kernel ~machine ddg fabric_resources =
     memo_enabled = false;
     timed_out = false;
     runtime_s = 0.0;
+    alloc_mb = 0.0;
+    minor_gcs = 0;
     error = None;
     result = None;
   }
@@ -59,6 +63,15 @@ let run ?(config = Config.default) ?(jobs = 1) ?(memo = true) ?cache
   Hca_obs.Obs.span "report.run" ~args:[ ("kernel", Ddg.name ddg) ]
   @@ fun () ->
   let t0 = Hca_util.Clock.now () in
+  (* Allocation accounting for the whole search, on this domain only:
+     [Gc.allocated_bytes] and the minor-collection counter are
+     per-domain in OCaml 5, so at [jobs > 1] the workers' churn is
+     invisible here — the counters are for the [--jobs 1] layout
+     benchmarks. *)
+  let alloc0 = Gc.allocated_bytes () in
+  let minor0 = (Gc.quick_stat ()).Gc.minor_collections in
+  let alloc_mb () = (Gc.allocated_bytes () -. alloc0) /. (1024.0 *. 1024.0) in
+  let minor_gcs () = (Gc.quick_stat ()).Gc.minor_collections - minor0 in
   let base =
     {
       (base_row ~kernel:(Ddg.name ddg) ~machine:(Dspfabric.name fabric) ddg
@@ -176,6 +189,8 @@ let run ?(config = Config.default) ?(jobs = 1) ?(memo = true) ?cache
         cache_misses;
         reused_subproblems;
         runtime_s = Hca_util.Clock.now () -. t0;
+        alloc_mb = alloc_mb ();
+        minor_gcs = minor_gcs ();
       }
   | Some (ii0, first_ok) ->
       let better_than (_, m1, l1) (_, m2, l2) =
@@ -230,6 +245,8 @@ let run ?(config = Config.default) ?(jobs = 1) ?(memo = true) ?cache
         cache_misses;
         reused_subproblems;
         runtime_s = Hca_util.Clock.now () -. t0;
+        alloc_mb = alloc_mb ();
+        minor_gcs = minor_gcs ();
         error = (if legal then None else Some "coherency check failed");
         result = Some res;
       }
@@ -296,12 +313,13 @@ let pp ppf t =
   Format.fprintf ppf
     "@[<v>%s on %s: %d instrs, MIIRec=%d MIIRes=%d ini=%d -> %s (II target \
      %d, legal=%b)@,\
-     copies=%d forwards=%d wire<=%d explored=%d routed=%d %s in %.3fs%s@]"
+     copies=%d forwards=%d wire<=%d explored=%d routed=%d %s in %.3fs \
+     (%.1f MB alloc, %d minor gcs)%s@]"
     t.kernel t.machine t.n_instr t.mii_rec t.mii_res t.ini_mii
     (match t.final_mii with
     | Some m -> "final MII " ^ string_of_int m
     | None -> "FAILED")
     t.ii_used t.legal t.copies t.forwards t.max_wire_load t.explored_states
-    t.routed_moves (memo_string t) t.runtime_s
+    t.routed_moves (memo_string t) t.runtime_s t.alloc_mb t.minor_gcs
     ((if t.timed_out then " [deadline exceeded: best-so-far]" else "")
     ^ match t.error with None -> "" | Some e -> " error: " ^ e)

@@ -43,6 +43,15 @@ type t = {
           a structured [Deadline_exceeded] signal, not a silent
           truncation.  Always [false] without a deadline. *)
   runtime_s : float;  (** wall-clock seconds spent in the whole search *)
+  alloc_mb : float;
+      (** MB allocated on the calling domain's OCaml heap during the
+          search ({!Gc.allocated_bytes} delta): the churn figure the
+          data-layout work optimises.  At [jobs > 1] the worker domains'
+          allocation is not included — compare like with like at
+          [--jobs 1]. *)
+  minor_gcs : int;
+      (** minor collections triggered on the calling domain during the
+          search (same caveat as {!field-alloc_mb}) *)
   error : string option;
   result : Hierarchy.t option;  (** the winning assignment, for inspection *)
 }

@@ -94,6 +94,10 @@ let solve_traced ~config ?target_ii ~backbone problem ~ii =
         rem
   in
   let clusters = candidate_clusters problem in
+  (* Batch-scoring scratch, reused across every frontier expansion:
+     candidate clusters as a flat array and one score slot each. *)
+  let clusters_arr = Array.of_list clusters in
+  let scores = Array.make (max 1 (Array.length clusters_arr)) nan in
   let explored = ref 1 and routed = ref 0 in
   (* A child of the current frontier, either still speculative (the
      move was scored on the parent's trail and undone — no clone paid
@@ -105,25 +109,25 @@ let solve_traced ~config ?target_ii ~backbone problem ~ii =
       State.add_penalty st (weights.Cost.w_tear *. float_of_int deficit)
   in
   let expand ~tail_of_region node state =
-    let candidates =
-      List.filter_map
-        (fun c ->
-          match
-            State.speculate_assign state ~node ~cluster:c ~ii ~target_ii
-              ~weights
-          with
-          | Ok () ->
-              incr explored;
-              penalise ~tail_of_region state c;
-              let cost = State.cost state in
-              State.undo_speculation state;
-              Some (Spec { parent = state; cluster = c; cost })
-          | Error _ -> None)
-        clusters
+    (* One pass over the state's flat arrays scores every candidate
+       cluster (tear penalty included), with no per-candidate
+       allocation; the candidate-width cut happens inside the batch, so
+       only the winners pay a [Spec] record.  Scores are bit-identical
+       to the speculate/penalise/undo loop this replaces (property
+       tested), and ties keep the cluster order, so the cut picks the
+       same winners. *)
+    let feasible =
+      State.score_moves state ~node ~clusters:clusters_arr ~ii ~target_ii
+        ~weights ~tail_of_region ~scores
     in
-    match candidates with
-    | _ :: _ -> candidates
-    | [] when config.Config.enable_router ->
+    explored := !explored + feasible;
+    if feasible > 0 then
+      List.map
+        (fun k ->
+          Spec { parent = state; cluster = clusters_arr.(k); cost = scores.(k) })
+        (Hca_util.Topk.smallest_indices ~k:config.Config.candidate_width scores
+           ~len:(Array.length clusters_arr))
+    else if config.Config.enable_router then
         (* No-candidates action: try the Route Allocator towards every
            cluster, cheapest resulting state first. *)
         List.filter_map
@@ -138,7 +142,7 @@ let solve_traced ~config ?target_ii ~backbone problem ~ii =
                 Some (Mat st)
             | Error _ -> None)
           clusters
-    | [] -> []
+    else []
   in
   (* Clones are paid here, for beam survivors only: replaying the move
      through the retained clone-based [try_assign] reproduces the
@@ -275,3 +279,4 @@ let solve ?(config = Config.default) ?target_ii ?(backbone = []) problem ~ii =
   Hca_obs.Obs.span "see.solve"
     ~args:[ ("problem", Problem.name problem); ("ii", string_of_int ii) ]
     (fun () -> solve_traced ~config ?target_ii ~backbone problem ~ii)
+

@@ -71,6 +71,68 @@ val undo_speculation : t -> unit
 (** Reverts the in-flight speculative move.
     @raise Invalid_argument when none is in flight. *)
 
+val score_moves :
+  t ->
+  node:int ->
+  clusters:int array ->
+  ii:int ->
+  target_ii:int ->
+  weights:Cost.weights ->
+  tail_of_region:int ->
+  scores:float array ->
+  int
+(** Batched frontier scoring: evaluates the move of [node] to every
+    cluster of [clusters] in one pass over the state's flat arrays,
+    reusing the preallocated speculation arena per candidate instead
+    of allocating an undo record each.  [scores.(k)] receives the
+    {!cost} the state would have after the move to [clusters.(k)] —
+    including the SEE's region-tear penalty for [tail_of_region]
+    remaining region nodes — or [nan] when the move is infeasible
+    (non-regular target, resource table exhausted, or no communication
+    pattern).  Returns the number of feasible moves.  The state is
+    restored bit for bit between candidates and before returning, and
+    each score is bit-identical to a
+    {!speculate_assign}/penalty/{!cost}/{!undo_speculation} probe of
+    the same move (property tested: the scoring arithmetic is shared,
+    not duplicated).
+    @raise Invalid_argument when a speculation is in flight or [node]
+    is already assigned. *)
+
+val probe_force :
+  t ->
+  node:int ->
+  cluster:Pattern_graph.node_id ->
+  ii:int ->
+  ((Instr.id * Pattern_graph.node_id * Pattern_graph.node_id) list, string)
+  result
+(** Trail-based feasibility twin of {!force_assign}: applies the move
+    and the direct-arc routing to [t] itself under a flow mark and
+    returns the same blocked triples the clone path would, without
+    cloning and without touching the cost caches.  On [Ok] the move is
+    left applied so the Route Allocator can detour the blocked values
+    on [t] ({!add_forward} / [Copy_flow.add_copy] route under the open
+    mark); {!abort_force} then rewinds everything — detour forwards
+    included — bit for bit.  On [Error] the state is untouched.  The
+    Route Allocator probes every attempt this way and replays only the
+    successful ones through {!force_assign}, so the ~80% of fallback
+    attempts with no feasible detour never pay a clone.
+    @raise Invalid_argument when a speculation is in flight. *)
+
+val commit_probe : t -> target_ii:int -> weights:Cost.weights -> t
+(** Materialises a successful {!probe_force} as a fresh successor
+    state: copies the per-state structures exactly as they stand (move,
+    direct arcs and detours applied) and re-scores from scratch — the
+    same [recompute_cost] the Route Allocator's commit always ran, so
+    the result is bit-identical to replaying the attempt through
+    {!force_assign} on a clone.  [t] still carries the in-flight probe;
+    call {!abort_force} afterwards to rewind it (the snapshot shares
+    nothing mutable, so the rewind cannot disturb it).
+    @raise Invalid_argument when no probe is in flight. *)
+
+val abort_force : t -> unit
+(** Rewinds an [Ok] {!probe_force}, including any detours routed since.
+    @raise Invalid_argument when none is in flight. *)
+
 val force_assign :
   t ->
   node:int ->
@@ -98,10 +160,19 @@ val flow : t -> Copy_flow.t
 
 val demand : t -> Pattern_graph.node_id -> Resource.t
 
+val can_host_forward : t -> via:Pattern_graph.node_id -> ii:int -> bool
+(** Would [via] still fit its resource table under the window [ii]
+    after one extra forwarding ALU slot?  Exactly
+    [Resource.fits ~demand:(add (demand t via) {alus = 1; ags = 0})]
+    against [via]'s capacity, plus the regular-node check, evaluated on
+    the flat demand arrays: the Route Allocator's BFS asks this per
+    visited node and must not allocate records. *)
+
 val cluster_nodes : t -> Pattern_graph.node_id -> int list
-(** Problem nodes placed on a cluster, id ascending.  Served from a
-    cluster->nodes reverse index maintained on assignment, not by
-    rescanning the placement array. *)
+(** Problem nodes placed on a cluster, id ascending.  Derived from the
+    placement array on demand (O(problem size)): only diagnostics read
+    it, so states carry no reverse index for the probe loop to maintain,
+    clone and rewind. *)
 
 val summary : t -> ii:int -> Cost.summary
 

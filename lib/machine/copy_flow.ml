@@ -1,13 +1,33 @@
 open Hca_ddg
 
-(* The aggregate counters mirror [values]/[reserved] so the hot cost
-   queries ([copy_count], [in_pressure], [can_add]...) are O(1) reads
-   instead of matrix walks; every mutation keeps them in sync. *)
+(* Compact arc storage: the potential matrix of a PG is sparse (a node
+   only reaches its level neighbours and ports), so instead of an
+   [n * n] matrix the flow numbers the potential arcs 0..n_arcs-1 in
+   ascending [(src, dst)] order and keeps every mutable per-arc
+   structure at that compact index.  [arc_of] maps a flat
+   [src * n + dst] to its compact id (-1 when not potential), so the
+   hot queries are one load away from the dense arrays; clones copy
+   [n_arcs] slots instead of [n * n].  The aggregate counters mirror
+   the arc state so the per-move cost queries ([copy_count],
+   [in_pressure], [can_add]...) are O(1) reads; every mutation keeps
+   them in sync.
+
+   The speculation trail is an arena: a preallocated int array of
+   compact arc ids reused across probes, so an apply/undo round trip
+   allocates nothing once the arena is warm. *)
 type t = {
   pg : Pattern_graph.t;
+  n : int;
   max_in_ports : int;
-  values : Instr.id list array array;  (* values.(src).(dst), reverse order *)
-  reserved : bool array array;  (* backbone arcs: slot pre-committed *)
+  arc_of : int array;  (* flat [src * n + dst] -> compact arc id or -1 *)
+  arc_src : int array;  (* compact arc id -> endpoints *)
+  arc_dst : int array;
+  in_arcs : int array array;  (* per dst: compact ids, src ascending *)
+  out_arcs : int array array;  (* per src: compact ids, dst ascending *)
+  values : Instr.id list array;  (* per compact arc, reverse order *)
+  reserved : Bytes.t;  (* per compact arc: slot pre-committed *)
+  inport : Bytes.t;  (* cached per-node In_port flag *)
+  max_in_of : int array;  (* cached per-dst in-neighbour budget *)
   mutable total : int;  (* value-hops over all arcs *)
   in_pres : int array;  (* values entering each node *)
   in_deg : int array;  (* distinct real in-neighbours *)
@@ -15,9 +35,9 @@ type t = {
   committed_in : int array;  (* real or reserved in-arcs *)
   mutable used_ports : int;  (* in-ports with at least one out-arc *)
   (* Speculation trail: while a mark is outstanding, [add_copy] logs
-     each mutated [(src, dst)] so [undo_to_mark] can reverse the
+     each mutated compact arc id so [undo_to_mark] can reverse the
      mutations exactly (LIFO: the value lists are stacks). *)
-  mutable trail : (int * int) list;
+  mutable trail : int array;
   mutable trail_len : int;
   mutable marks : int;
 }
@@ -26,53 +46,120 @@ type mark = int
 
 let create ?(max_in_ports = max_int) pg =
   let n = Pattern_graph.size pg in
+  let inport = Bytes.make n '\000' in
+  let max_in_of = Array.make n 0 in
+  Array.iter
+    (fun (nd : Pattern_graph.node) ->
+      match nd.kind with
+      | Pattern_graph.In_port _ -> Bytes.set inport nd.id '\001'
+      | Pattern_graph.Out_port _ -> max_in_of.(nd.id) <- 1
+      | Pattern_graph.Regular -> max_in_of.(nd.id) <- Pattern_graph.max_in pg)
+    (Pattern_graph.nodes pg);
+  let arc_of = Array.make (n * n) (-1) in
+  let srcs = ref [] and dsts = ref [] and n_arcs = ref 0 in
+  (* Compact ids ascend with the flat index, so iterating arcs
+     0..n_arcs-1 is the (src, dst)-lexicographic matrix walk the
+     signature and equality orders rely on. *)
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if Pattern_graph.is_potential pg ~src ~dst then begin
+        arc_of.((src * n) + dst) <- !n_arcs;
+        srcs := src :: !srcs;
+        dsts := dst :: !dsts;
+        incr n_arcs
+      end
+    done
+  done;
+  let arc_src = Array.of_list (List.rev !srcs) in
+  let arc_dst = Array.of_list (List.rev !dsts) in
+  let collect_arcs by =
+    Array.init n (fun id ->
+        let acc = ref [] in
+        for a = !n_arcs - 1 downto 0 do
+          if by.(a) = id then acc := a :: !acc
+        done;
+        Array.of_list !acc)
+  in
   {
     pg;
+    n;
     max_in_ports;
-    values = Array.init n (fun _ -> Array.make n []);
-    reserved = Array.init n (fun _ -> Array.make n false);
+    arc_of;
+    arc_src;
+    arc_dst;
+    in_arcs = collect_arcs arc_dst;
+    out_arcs = collect_arcs arc_src;
+    values = Array.make (max 1 !n_arcs) [];
+    reserved = Bytes.make (max 1 !n_arcs) '\000';
+    inport;
+    max_in_of;
     total = 0;
     in_pres = Array.make n 0;
     in_deg = Array.make n 0;
     out_deg = Array.make n 0;
     committed_in = Array.make n 0;
     used_ports = 0;
-    trail = [];
+    trail = [||];
     trail_len = 0;
     marks = 0;
   }
 
 let pg t = t.pg
 
-let clone t =
-  if t.marks <> 0 then invalid_arg "Copy_flow.clone: speculation in flight";
+(* Copy the mutable arc state as it stands — even mid-speculation: the
+   value lists are immutable (sharing their tails is safe when the
+   original later pops them on [undo_to_mark]), so the copy captures
+   the speculatively mutated flow with a fresh, markless trail.  The
+   Route Allocator commits a successful probe this way instead of
+   replaying it on a clone. *)
+let snapshot t =
   {
     t with
-    values = Array.map Array.copy t.values;
+    (* The value lists are immutable, so the arc array clones with a
+       single [Array.copy] and the lists stay shared. *)
+    values = Array.copy t.values;
     in_pres = Array.copy t.in_pres;
     in_deg = Array.copy t.in_deg;
     out_deg = Array.copy t.out_deg;
     committed_in = Array.copy t.committed_in;
-    trail = [];
+    trail = [||];
     trail_len = 0;
+    marks = 0;
   }
-  (* [reserved] is never mutated after setup, so sharing it is safe. *)
+  (* [arc_of]/[arc_src]/[arc_dst]/[in_arcs]/[out_arcs]/[reserved]/
+     [inport]/[max_in_of] are never mutated after setup, so sharing
+     them is safe. *)
 
-let copies t ~src ~dst = List.rev t.values.(src).(dst)
+let clone t =
+  if t.marks <> 0 then invalid_arg "Copy_flow.clone: speculation in flight";
+  snapshot t
 
-let is_real t ~src ~dst = t.values.(src).(dst) <> []
+let arc_id t ~src ~dst =
+  if src >= 0 && src < t.n && dst >= 0 && dst < t.n then
+    Array.unsafe_get t.arc_of ((src * t.n) + dst)
+  else -1
+
+let copies t ~src ~dst =
+  match arc_id t ~src ~dst with -1 -> [] | a -> List.rev t.values.(a)
+
+let is_real t ~src ~dst =
+  match arc_id t ~src ~dst with -1 -> false | a -> t.values.(a) <> []
 
 let real_in_neighbors t id =
+  let arcs = t.in_arcs.(id) in
   let acc = ref [] in
-  for src = Pattern_graph.size t.pg - 1 downto 0 do
-    if t.values.(src).(id) <> [] then acc := src :: !acc
+  for i = Array.length arcs - 1 downto 0 do
+    let a = arcs.(i) in
+    if t.values.(a) <> [] then acc := t.arc_src.(a) :: !acc
   done;
   !acc
 
 let real_out_neighbors t id =
+  let arcs = t.out_arcs.(id) in
   let acc = ref [] in
-  for dst = Pattern_graph.size t.pg - 1 downto 0 do
-    if t.values.(id).(dst) <> [] then acc := dst :: !acc
+  for i = Array.length arcs - 1 downto 0 do
+    let a = arcs.(i) in
+    if t.values.(a) <> [] then acc := t.arc_dst.(a) :: !acc
   done;
   !acc
 
@@ -85,70 +172,88 @@ let used_in_ports_count t = t.used_ports
 
 let real_in_count t id = t.in_deg.(id)
 
-let is_in_port t id =
-  match (Pattern_graph.node t.pg id).kind with
-  | Pattern_graph.In_port _ -> true
-  | Pattern_graph.Regular | Pattern_graph.Out_port _ -> false
-
-let max_in_for t dst =
-  match (Pattern_graph.node t.pg dst).kind with
-  | Pattern_graph.Out_port _ -> 1
-  | Pattern_graph.Regular -> Pattern_graph.max_in t.pg
-  | Pattern_graph.In_port _ -> 0
+let is_in_port t id = Bytes.unsafe_get t.inport id <> '\000'
 
 let reserve_neighbor t ~src ~dst =
-  if not (Pattern_graph.is_potential t.pg ~src ~dst) then
-    invalid_arg "Copy_flow.reserve_neighbor: arc not potential";
-  (* In-degree with backbone reservations folded in: a reserved arc
-     holds its slot whether or not a value flows yet. *)
-  if (not t.reserved.(src).(dst)) && t.values.(src).(dst) = [] then
-    t.committed_in.(dst) <- t.committed_in.(dst) + 1;
-  t.reserved.(src).(dst) <- true
+  match arc_id t ~src ~dst with
+  | -1 -> invalid_arg "Copy_flow.reserve_neighbor: arc not potential"
+  | a ->
+      (* In-degree with backbone reservations folded in: a reserved arc
+         holds its slot whether or not a value flows yet. *)
+      if Bytes.get t.reserved a = '\000' && t.values.(a) = [] then
+        t.committed_in.(dst) <- t.committed_in.(dst) + 1;
+      Bytes.set t.reserved a '\001'
+
+(* [can_add] on an already-resolved compact arc id. *)
+let can_add_arc t a ~src ~dst =
+  t.values.(a) <> []
+  || Bytes.unsafe_get t.reserved a <> '\000'
+  || t.committed_in.(dst) < t.max_in_of.(dst)
+     && ((not (is_in_port t src))
+        || t.out_deg.(src) > 0
+        || t.used_ports < t.max_in_ports)
 
 let can_add t ~src ~dst =
-  Pattern_graph.is_potential t.pg ~src ~dst
-  && (is_real t ~src ~dst || t.reserved.(src).(dst)
-     || t.committed_in.(dst) < max_in_for t dst
-        && ((not (is_in_port t src))
-           || t.out_deg.(src) > 0
-           || t.used_ports < t.max_in_ports))
+  match arc_id t ~src ~dst with
+  | -1 -> false
+  | a -> can_add_arc t a ~src ~dst
+
+(* Index-based view of a node's potential out-arcs, for the Route
+   Allocator's BFS: the successor scan must neither allocate a list per
+   expansion (the [Pattern_graph.potential_succs] way) nor re-resolve
+   the [(src, dst)] pair it already holds compactly. *)
+let out_arc_count t src = Array.length t.out_arcs.(src)
+
+let out_arc_dst t src k = t.arc_dst.(t.out_arcs.(src).(k))
+
+let can_add_out t src k =
+  let a = t.out_arcs.(src).(k) in
+  can_add_arc t a ~src ~dst:t.arc_dst.(a)
+
+let trail_push t a =
+  let cap = Array.length t.trail in
+  if t.trail_len = cap then begin
+    let grown = Array.make (max 64 (2 * cap)) 0 in
+    Array.blit t.trail 0 grown 0 t.trail_len;
+    t.trail <- grown
+  end;
+  t.trail.(t.trail_len) <- a;
+  t.trail_len <- t.trail_len + 1
 
 let add_copy t ~src ~dst value =
-  if not (can_add t ~src ~dst) then
+  let a = arc_id t ~src ~dst in
+  if a < 0 || not (can_add_arc t a ~src ~dst) then
     invalid_arg
       (Printf.sprintf "Copy_flow.add_copy: arc %d->%d not allowed" src dst);
-  if not (List.mem value t.values.(src).(dst)) then begin
-    if t.values.(src).(dst) = [] then begin
+  if not (List.mem value t.values.(a)) then begin
+    if t.values.(a) = [] then begin
       t.in_deg.(dst) <- t.in_deg.(dst) + 1;
       t.out_deg.(src) <- t.out_deg.(src) + 1;
       if is_in_port t src && t.out_deg.(src) = 1 then
         t.used_ports <- t.used_ports + 1;
-      if not t.reserved.(src).(dst) then
+      if Bytes.unsafe_get t.reserved a = '\000' then
         t.committed_in.(dst) <- t.committed_in.(dst) + 1
     end;
-    t.values.(src).(dst) <- value :: t.values.(src).(dst);
+    t.values.(a) <- value :: t.values.(a);
     t.total <- t.total + 1;
     t.in_pres.(dst) <- t.in_pres.(dst) + 1;
-    if t.marks > 0 then begin
-      t.trail <- (src, dst) :: t.trail;
-      t.trail_len <- t.trail_len + 1
-    end
+    if t.marks > 0 then trail_push t a
   end
 
 let remove_copy t ~src ~dst value =
   if t.marks <> 0 then invalid_arg "Copy_flow.remove_copy: speculation in flight";
-  if not (List.mem value t.values.(src).(dst)) then
+  let a = arc_id t ~src ~dst in
+  if a < 0 || not (List.mem value t.values.(a)) then
     invalid_arg "Copy_flow.remove_copy: value not routed on this arc";
-  t.values.(src).(dst) <-
-    List.filter (fun v -> v <> value) t.values.(src).(dst);
+  t.values.(a) <- List.filter (fun v -> v <> value) t.values.(a);
   t.total <- t.total - 1;
   t.in_pres.(dst) <- t.in_pres.(dst) - 1;
-  if t.values.(src).(dst) = [] then begin
+  if t.values.(a) = [] then begin
     t.in_deg.(dst) <- t.in_deg.(dst) - 1;
     t.out_deg.(src) <- t.out_deg.(src) - 1;
     if is_in_port t src && t.out_deg.(src) = 0 then
       t.used_ports <- t.used_ports - 1;
-    if not t.reserved.(src).(dst) then
+    if Bytes.unsafe_get t.reserved a = '\000' then
       t.committed_in.(dst) <- t.committed_in.(dst) - 1
   end
 
@@ -159,11 +264,12 @@ let push_mark t =
 (* Reverse of the mutating branch of [add_copy]: pop the value, and
    when the arc empties again reverse the arc-level counters under the
    same conditions the add tested. *)
-let undo_event t (src, dst) =
-  match t.values.(src).(dst) with
+let undo_event t a =
+  let src = t.arc_src.(a) and dst = t.arc_dst.(a) in
+  match t.values.(a) with
   | [] -> assert false
   | _ :: tl ->
-      t.values.(src).(dst) <- tl;
+      t.values.(a) <- tl;
       t.total <- t.total - 1;
       t.in_pres.(dst) <- t.in_pres.(dst) - 1;
       if tl = [] then begin
@@ -171,85 +277,70 @@ let undo_event t (src, dst) =
         t.out_deg.(src) <- t.out_deg.(src) - 1;
         if is_in_port t src && t.out_deg.(src) = 0 then
           t.used_ports <- t.used_ports - 1;
-        if not t.reserved.(src).(dst) then
+        if Bytes.unsafe_get t.reserved a = '\000' then
           t.committed_in.(dst) <- t.committed_in.(dst) - 1
       end
 
 let undo_to_mark t mark =
   if t.marks <= 0 then invalid_arg "Copy_flow.undo_to_mark: no mark in flight";
   while t.trail_len > mark do
-    match t.trail with
-    | [] -> assert false
-    | ev :: rest ->
-        undo_event t ev;
-        t.trail <- rest;
-        t.trail_len <- t.trail_len - 1
+    t.trail_len <- t.trail_len - 1;
+    undo_event t t.trail.(t.trail_len)
   done;
   t.marks <- t.marks - 1
 
 let equal a b =
-  let n = Pattern_graph.size a.pg in
-  n = Pattern_graph.size b.pg
+  a.n = b.n
   && a.total = b.total
   && a.used_ports = b.used_ports
   &&
   let ok = ref true in
   (try
-     for src = 0 to n - 1 do
-       for dst = 0 to n - 1 do
-         if a.values.(src).(dst) <> b.values.(src).(dst) then begin
-           ok := false;
-           raise Exit
-         end
-       done
+     for i = 0 to Array.length a.values - 1 do
+       if a.values.(i) <> b.values.(i) then begin
+         ok := false;
+         raise Exit
+       end
      done
    with Exit -> ());
   !ok
 
 let hash_into t h =
-  let n = Pattern_graph.size t.pg in
   Hca_util.Sig_hash.add_int h t.total;
   Hca_util.Sig_hash.add_int h t.used_ports;
-  for src = 0 to n - 1 do
-    for dst = 0 to n - 1 do
-      match t.values.(src).(dst) with
-      | [] -> ()
-      | vs ->
-          Hca_util.Sig_hash.add_int h src;
-          Hca_util.Sig_hash.add_int h dst;
-          Hca_util.Sig_hash.add_int_list h vs
-    done
+  (* Compact-id ascending = (src, dst) lexicographic, the order the
+     matrix walk used before the layout went sparse. *)
+  for a = 0 to Array.length t.values - 1 do
+    match t.values.(a) with
+    | [] -> ()
+    | vs ->
+        Hca_util.Sig_hash.add_int h t.arc_src.(a);
+        Hca_util.Sig_hash.add_int h t.arc_dst.(a);
+        Hca_util.Sig_hash.add_int_list h vs
   done
 
 let arcs t =
-  let n = Pattern_graph.size t.pg in
   let acc = ref [] in
-  for src = n - 1 downto 0 do
-    for dst = n - 1 downto 0 do
-      if t.values.(src).(dst) <> [] then
-        acc := (src, dst, List.rev t.values.(src).(dst)) :: !acc
-    done
+  for a = Array.length t.values - 1 downto 0 do
+    if t.values.(a) <> [] then
+      acc := (t.arc_src.(a), t.arc_dst.(a), List.rev t.values.(a)) :: !acc
   done;
   !acc
 
 let copy_count t = t.total
 
 let max_arc_pressure t =
-  Array.fold_left
-    (fun acc row ->
-      Array.fold_left (fun acc vs -> max acc (List.length vs)) acc row)
-    0 t.values
+  Array.fold_left (fun acc vs -> max acc (List.length vs)) 0 t.values
 
 let in_pressure t id = t.in_pres.(id)
 
 let out_pressure t id =
   let module S = Set.Make (Int) in
-  let distinct =
-    Array.fold_left
-      (fun acc vs -> List.fold_left (fun acc v -> S.add v acc) acc vs)
-      S.empty t.values.(id)
-  in
-  S.cardinal distinct
+  let distinct = ref S.empty in
+  Array.iter
+    (fun a -> List.iter (fun v -> distinct := S.add v !distinct) t.values.(a))
+    t.out_arcs.(id);
+  S.cardinal !distinct
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>copy flow on %s:" (Pattern_graph.name t.pg);
@@ -259,3 +350,4 @@ let pp ppf t =
         (String.concat "," (List.map string_of_int vs)))
     (arcs t);
   Format.fprintf ppf "@]"
+

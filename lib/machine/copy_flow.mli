@@ -12,8 +12,15 @@
       (the leaf crossbar admits only [K] of the wires coming down from
       level 1).
 
-    Snapshots ({!clone}) are cheap because PGs are small (4 regular
-    nodes plus ports); the beam search clones one per explored branch. *)
+    The potential matrix is sparse, so the flow numbers the potential
+    arcs in ascending [(src, dst)] order and keeps all mutable per-arc
+    state in flat arrays at those compact indices (a [src * n + dst]
+    lookup table resolves a pair to its arc in O(1)); the speculation
+    trail is a preallocated int arena, so the SEE's probe loop neither
+    chases nested arrays nor allocates per move.  Snapshots ({!clone})
+    copy the per-arc slots — not an [n * n] matrix — and the immutable
+    per-arc value lists stay shared; the beam search clones one per
+    beam survivor. *)
 
 open Hca_ddg
 
@@ -36,11 +43,39 @@ val pg : t -> Pattern_graph.t
 
 val clone : t -> t
 
+val snapshot : t -> t
+(** Like {!clone} but allowed while a speculation mark is outstanding:
+    captures the flow exactly as it stands — speculative mutations
+    included — with a fresh trail and no marks.  Safe because the
+    per-arc value lists are immutable: the original popping them on
+    {!undo_to_mark} never disturbs the copy.  The Route Allocator
+    commits a successful in-place probe by snapshotting it, instead of
+    replaying the whole attempt on a clone. *)
+
 (** {1 Mutation} *)
 
 val can_add : t -> src:Pattern_graph.node_id -> dst:Pattern_graph.node_id -> bool
 (** Would routing a value on [(src, dst)] respect the potential matrix
     and all in-neighbour constraints? *)
+
+(** {2 Indexed potential-successor view}
+
+    The Route Allocator's BFS scans a node's potential out-arcs once
+    per frontier expansion, tens of thousands of times per kernel:
+    these accessors walk the compact per-node arc arrays directly —
+    no list is built, no [(src, dst)] pair is re-resolved. *)
+
+val out_arc_count : t -> Pattern_graph.node_id -> int
+(** Number of potential out-arcs of a node. *)
+
+val out_arc_dst : t -> Pattern_graph.node_id -> int -> Pattern_graph.node_id
+(** Destination of the [k]-th potential out-arc (ascending by
+    destination id — the same order [Pattern_graph.potential_succs]
+    yields). *)
+
+val can_add_out : t -> Pattern_graph.node_id -> int -> bool
+(** [can_add] for the [k]-th potential out-arc of a node, without the
+    pair-to-arc lookup. *)
 
 val add_copy :
   t -> src:Pattern_graph.node_id -> dst:Pattern_graph.node_id -> Instr.id -> unit

@@ -1,3 +1,33 @@
+(* Index twin of {!smallest} over a scored batch: [keys.(0..len-1)] are
+   the candidate scores, entries with a non-finite key (the batch
+   scorer's infeasible sentinel) are skipped.  Same selection contract:
+   keys ascending, ties towards the smaller index. *)
+let smallest_indices ~k keys ~len =
+  if k <= 0 || len <= 0 then []
+  else begin
+    let cap = k in
+    let elems = Array.make cap 0 in
+    let sel = Array.make cap infinity in
+    let n = ref 0 in
+    for i = 0 to len - 1 do
+      let kx = keys.(i) in
+      if kx = kx && kx <> infinity && kx <> neg_infinity then
+        if !n < cap || kx < sel.(!n - 1) then begin
+          let stop = if !n < cap then !n else cap - 1 in
+          let j = ref stop in
+          while !j > 0 && sel.(!j - 1) > kx do
+            sel.(!j) <- sel.(!j - 1);
+            elems.(!j) <- elems.(!j - 1);
+            decr j
+          done;
+          sel.(!j) <- kx;
+          elems.(!j) <- i;
+          if !n < cap then incr n
+        end
+    done;
+    Array.to_list (Array.sub elems 0 !n)
+  end
+
 let smallest ~k ~key l =
   if k <= 0 then []
   else

@@ -13,3 +13,10 @@ val smallest : k:int -> key:('a -> float) -> 'a list -> 'a list
        (List.sort (fun a b -> compare (key a) (key b)) l)],
     which is what the SEE's beam and candidate cuts previously
     computed. *)
+
+val smallest_indices : k:int -> float array -> len:int -> int list
+(** [smallest_indices ~k keys ~len] is the index twin of {!smallest}
+    for a batch-scored candidate array: the indices [i < len] whose
+    [keys.(i)] are the [k] smallest, keys ascending, ties towards the
+    smaller index.  Entries with a non-finite key ([nan]/[infinity] —
+    the batch scorer's infeasible sentinel) are skipped entirely. *)

@@ -52,6 +52,19 @@ let fold f acc v =
   done;
   !acc
 
+let clear v = v.len <- 0
+
+let truncate v n =
+  if n < 0 || n > v.len then invalid_arg "Vec.truncate: bad length";
+  v.len <- n
+
+let pop v =
+  if v.len = 0 then invalid_arg "Vec.pop: empty";
+  v.len <- v.len - 1;
+  v.data.(v.len)
+
+let copy v = { data = Array.copy v.data; len = v.len }
+
 let to_array v = Array.sub v.data 0 v.len
 
 let of_array a = { data = Array.copy a; len = Array.length a }

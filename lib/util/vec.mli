@@ -21,6 +21,21 @@ val iteri : (int -> 'a -> unit) -> 'a t -> unit
 
 val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
 
+val clear : 'a t -> unit
+(** Drops every element (O(1); the backing store is retained, so a
+    cleared vector refills without reallocating). *)
+
+val truncate : 'a t -> int -> unit
+(** [truncate v n] drops every element past index [n-1].
+    @raise Invalid_argument when [n] exceeds the current length. *)
+
+val pop : 'a t -> 'a
+(** Removes and returns the last element.
+    @raise Invalid_argument when empty. *)
+
+val copy : 'a t -> 'a t
+(** Independent copy; used when cloning owners of per-state vectors. *)
+
 (** [to_array v] copies the contents into a fresh fixed array. *)
 val to_array : 'a t -> 'a array
 

@@ -179,12 +179,15 @@ let prop_speculation_roundtrip =
     (fun (seed, size) ->
       walk_with_probes ~seed ~size
         (fun st pristine ~node ~cluster ~ii ~target_ii ~weights ->
+          let sig0 = State.signature st in
           (match
              State.speculate_assign st ~node ~cluster ~ii ~target_ii ~weights
            with
           | Ok () -> State.undo_speculation st
           | Error _ -> () (* failed moves roll back on their own *));
-          State.debug_identical st pristine))
+          State.debug_identical st pristine
+          && State.signature st = sig0
+          && State.signature st = State.signature pristine))
 
 let prop_speculative_cost_exact =
   QCheck.Test.make
@@ -215,6 +218,94 @@ let prop_speculative_cost_exact =
           | Some a, Some b -> Int64.bits_of_float a = Int64.bits_of_float b
           | None, None -> true
           | _ -> false))
+
+(* The SEE's batched frontier scoring against the per-candidate
+   speculate/penalise/undo loop it replaced: same feasibility verdicts,
+   bit-equal scores (region-tear penalty included), and the state comes
+   back bit-identical.  The candidate array deliberately carries a port
+   id and a far out-of-range id to pin the [nan] path. *)
+let prop_score_moves_exact =
+  QCheck.Test.make
+    ~name:"score_moves = speculate/penalise/undo per candidate, bit for bit"
+    ~count:40
+    QCheck.(triple (int_range 0 1000) (int_range 6 16) (int_range 1 6))
+    (fun (seed, size, tail_of_region) ->
+      walk_with_probes ~seed ~size
+        (fun st pristine ~node ~cluster:_ ~ii ~target_ii ~weights ->
+          let clusters = [| 0; 1; 2; 3; 4; 1000 |] in
+          let scores = Array.make (Array.length clusters) nan in
+          let feasible =
+            State.score_moves st ~node ~clusters ~ii ~target_ii ~weights
+              ~tail_of_region ~scores
+          in
+          let expect_feasible = ref 0 in
+          let ok = ref (State.debug_identical st pristine) in
+          Array.iteri
+            (fun k cluster ->
+              let reference =
+                match
+                  State.speculate_assign st ~node ~cluster ~ii ~target_ii
+                    ~weights
+                with
+                | Ok () ->
+                    let deficit =
+                      tail_of_region - 1
+                      - State.free_issue_slots st ~cluster ~ii
+                    in
+                    if deficit > 0 then
+                      State.add_penalty st
+                        (weights.Cost.w_tear *. float_of_int deficit);
+                    let c = State.cost st in
+                    State.undo_speculation st;
+                    incr expect_feasible;
+                    Some c
+                | Error _ -> None
+              in
+              match reference with
+              | Some c ->
+                  if Int64.bits_of_float scores.(k) <> Int64.bits_of_float c
+                  then ok := false
+              | None -> if not (Float.is_nan scores.(k)) then ok := false)
+            clusters;
+          !ok && feasible = !expect_feasible))
+
+(* ------------------------------------------------------------------ *)
+(* Route-Allocator probes == clone-based force_assign                  *)
+(* ------------------------------------------------------------------ *)
+
+(* [probe_force]/[commit_probe]/[abort_force] against the retained
+   clone path: same error, same blocked triples, a committed snapshot
+   indistinguishable from the force_assign clone after its
+   [recompute_cost], and the probed state rewound bit for bit. *)
+let prop_probe_force_matches_clone_path =
+  QCheck.Test.make
+    ~name:"probe_force/commit/abort = force_assign on a clone" ~count:40
+    QCheck.(pair (int_range 0 1000) (int_range 6 16))
+    (fun (seed, size) ->
+      walk_with_probes ~seed ~size
+        (fun st pristine ~node ~cluster ~ii ~target_ii ~weights ->
+          match State.probe_force st ~node ~cluster ~ii with
+          | Error e -> (
+              State.debug_identical st pristine
+              &&
+              match State.force_assign st ~node ~cluster ~ii with
+              | Error e' -> e = e'
+              | Ok _ -> false)
+          | Ok blocked -> (
+              let committed =
+                State.commit_probe st ~target_ii ~weights
+              in
+              State.abort_force st;
+              State.debug_identical st pristine
+              && State.signature st = State.signature pristine
+              &&
+              match State.force_assign st ~node ~cluster ~ii with
+              | Error _ -> false
+              | Ok (t', blocked') ->
+                  State.recompute_cost t' ~target_ii ~weights;
+                  blocked = blocked'
+                  && State.debug_identical committed t'
+                  && State.signature committed = State.signature t')))
 
 (* ------------------------------------------------------------------ *)
 (* Parallel drivers reproduce their sequential runs                    *)
@@ -318,6 +409,8 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_speculation_roundtrip;
           QCheck_alcotest.to_alcotest prop_speculative_cost_exact;
+          QCheck_alcotest.to_alcotest prop_score_moves_exact;
+          QCheck_alcotest.to_alcotest prop_probe_force_matches_clone_path;
         ] );
       ( "drivers",
         [

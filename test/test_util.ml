@@ -120,6 +120,86 @@ let test_tabular_arity_check () =
     (Invalid_argument "Tabular.add_row: cell count mismatch") (fun () ->
       Tabular.add_row t [ "x"; "y" ])
 
+(* Bitset vs a boolean-array model: any interleaving of set/clear/reset
+   leaves both agreeing on membership, cardinality and enumeration. *)
+let apply_ops width ops =
+  let b = Bitset.create width in
+  let model = Array.make width false in
+  List.iter
+    (fun (tag, i) ->
+      let i = i mod width in
+      match tag mod 3 with
+      | 0 ->
+          Bitset.set b i;
+          model.(i) <- true
+      | 1 ->
+          Bitset.clear b i;
+          model.(i) <- false
+      | _ ->
+          Bitset.reset b;
+          Array.fill model 0 width false)
+    ops;
+  (b, model)
+
+let ops_gen =
+  QCheck.(pair (int_range 1 80) (small_list (pair small_int small_int)))
+
+let prop_bitset_model =
+  QCheck.Test.make ~name:"Bitset agrees with bool-array model" ~count:300
+    ops_gen (fun (width, ops) ->
+      let b, model = apply_ops width ops in
+      let mem_ok = ref true in
+      for i = 0 to width - 1 do
+        if Bitset.mem b i <> model.(i) then mem_ok := false
+      done;
+      let card = Array.fold_left (fun n x -> if x then n + 1 else n) 0 model in
+      let listed =
+        Array.to_list model
+        |> List.mapi (fun i x -> (i, x))
+        |> List.filter_map (fun (i, x) -> if x then Some i else None)
+      in
+      !mem_ok
+      && Bitset.cardinal b = card
+      && Bitset.to_list b = listed
+      && Bitset.fold (fun _ n -> n + 1) b 0 = card)
+
+let prop_bitset_inter =
+  QCheck.Test.make ~name:"Bitset.inter_count matches the model intersection"
+    ~count:300
+    QCheck.(
+      triple (int_range 1 80)
+        (small_list (pair small_int small_int))
+        (small_list (pair small_int small_int)))
+    (fun (width, ops_a, ops_b) ->
+      let a, ma = apply_ops width ops_a in
+      let b, mb = apply_ops width ops_b in
+      let expect = ref 0 in
+      for i = 0 to width - 1 do
+        if ma.(i) && mb.(i) then incr expect
+      done;
+      Bitset.inter_count a b = !expect)
+
+let prop_bitset_copy =
+  QCheck.Test.make ~name:"Bitset.copy is independent and equal" ~count:200
+    ops_gen (fun (width, ops) ->
+      let b, _ = apply_ops width ops in
+      let c = Bitset.copy b in
+      let eq_before = Bitset.equal b c in
+      Bitset.set c 0;
+      Bitset.clear b 0;
+      eq_before && Bitset.mem c 0 && not (Bitset.mem b 0))
+
+let test_bitset_bounds () =
+  let b = Bitset.create 9 in
+  Alcotest.check_raises "set out of bounds"
+    (Invalid_argument "Bitset: index out of bounds") (fun () -> Bitset.set b 9);
+  Alcotest.check_raises "mem negative"
+    (Invalid_argument "Bitset: index out of bounds") (fun () ->
+      ignore (Bitset.mem b (-1)));
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Bitset.inter_count: width mismatch") (fun () ->
+      ignore (Bitset.inter_count b (Bitset.create 8)))
+
 let prop_vec_roundtrip =
   QCheck.Test.make ~name:"Vec.of_array |> to_array is identity" ~count:200
     QCheck.(array small_int)
@@ -155,6 +235,13 @@ let () =
           Alcotest.test_case "shuffle permutes" `Quick test_prng_shuffle_permutation;
           Alcotest.test_case "split independent" `Quick test_prng_split_independent;
           QCheck_alcotest.to_alcotest prop_prng_bounded;
+        ] );
+      ( "bitset",
+        [
+          Alcotest.test_case "bounds" `Quick test_bitset_bounds;
+          QCheck_alcotest.to_alcotest prop_bitset_model;
+          QCheck_alcotest.to_alcotest prop_bitset_inter;
+          QCheck_alcotest.to_alcotest prop_bitset_copy;
         ] );
       ( "tabular",
         [
