@@ -49,6 +49,12 @@ let profile_mode = ref false
 
 let jobs = ref (Hca_util.Domain_pool.default_jobs ())
 
+(* optgap knobs for the CI smoke lane: override the per-kernel oracle
+   budget and skip kernels above a size cap. *)
+let oracle_budget = ref None
+
+let max_n = ref None
+
 let heading title = if not !json_mode then Printf.printf "\n=== %s ===\n%!" title
 
 let jstr_of s = Printf.sprintf "%S" s
@@ -497,19 +503,36 @@ let optgap () =
     Hca_util.Tabular.create
       [
         left "Kernel"; right "N_Instr"; right "HCA final"; left "Oracle";
-        right "Oracle MII"; right "Lower bound"; right "Gap <="; right "SAT time(s)";
+        right "Oracle MII"; right "Lower bound"; right "Gap <=";
+        right "Probes"; right "Reused"; right "SAT time(s)";
       ]
+  in
+  let kernels =
+    match !max_n with
+    | None -> kernels
+    | Some mx -> List.filter (fun (_, f) -> Ddg.size (f ()) <= mx) kernels
   in
   List.iter
     (fun (name, f) ->
       let ddg = f () in
       let n = Ddg.size ddg in
-      let budget_s = if n <= 24 then 10. else 5. in
+      let budget_s =
+        match !oracle_budget with
+        | Some b -> b
+        | None -> if n <= 24 then 10. else 5.
+      in
       let (hca, oracle), phases =
         profiled (fun () ->
             let hca = Report.run fabric ddg in
+            (* Seed the oracle's downward walk with the heuristic's
+               result: in relaxed mode the incumbent is feasible by
+               construction, so the budget is spent tightening the
+               bound, not rediscovering a model. *)
+            let incumbent =
+              if hca.Report.legal then hca.Report.final_mii else None
+            in
             let oracle =
-              Hca_exact.Oracle.run ~budget_s ~jobs:!jobs fabric ddg
+              Hca_exact.Oracle.run ~budget_s ?incumbent fabric ddg
             in
             (hca, oracle))
       in
@@ -542,6 +565,12 @@ let optgap () =
              ( "gap",
                match gap with Some g -> jfloat g | None -> "null" );
              ("sat_conflicts", jint oracle.Hca_exact.Oracle.explored);
+             ("sat_propagations", jint oracle.Hca_exact.Oracle.propagations);
+             ("sat_learnt", jint oracle.Hca_exact.Oracle.learnt_total);
+             ("sat_reused_hits", jint oracle.Hca_exact.Oracle.reused_hits);
+             ("sat_probes", jint (List.length oracle.Hca_exact.Oracle.probes));
+             ("oracle_alloc_mb", jfloat oracle.Hca_exact.Oracle.alloc_mb);
+             ("oracle_minor_gcs", jint oracle.Hca_exact.Oracle.minor_gcs);
              ("runtime_s", jfloat oracle.Hca_exact.Oracle.runtime_s);
            ]
           @ alloc_fields hca @ phases)
@@ -559,6 +588,8 @@ let optgap () =
             | None -> "-");
             string_of_int oracle.Hca_exact.Oracle.lower_bound;
             (match gap with Some g -> Printf.sprintf "%.2f" g | None -> "-");
+            string_of_int (List.length oracle.Hca_exact.Oracle.probes);
+            string_of_int oracle.Hca_exact.Oracle.reused_hits;
             Printf.sprintf "%.2f" oracle.Hca_exact.Oracle.runtime_s;
           ])
     kernels;
@@ -994,6 +1025,22 @@ let () =
     | [ "--jobs" ] -> bad_jobs ""
     | a :: rest when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
         set_jobs (String.sub a 7 (String.length a - 7));
+        parse acc rest
+    | "--oracle-budget" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some b when b > 0. -> oracle_budget := Some b
+        | _ ->
+            Printf.eprintf
+              "bad --oracle-budget value %S: expected positive seconds\n" v;
+            exit 2);
+        parse acc rest
+    | "--max-n" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some m when m >= 1 -> max_n := Some m
+        | _ ->
+            Printf.eprintf
+              "bad --max-n value %S: expected a positive integer\n" v;
+            exit 2);
         parse acc rest
     | a :: rest -> parse (a :: acc) rest
   in

@@ -1,7 +1,7 @@
 (* bench_guard: quality-regression gate over bench NDJSON output.
 
    Usage: bench_guard [--runtime-budget EXP/KERNEL=SECONDS]...
-                      BASELINE.json CURRENT.json
+                      [--gate-optgap] BASELINE.json CURRENT.json
 
    Both files hold newline-delimited JSON records as emitted by
    [bench/main.exe --json].  For every (experiment, kernel) row present
@@ -9,9 +9,17 @@
    and "wires" when present — must match exactly; runtimes and counters
    may drift, quality may not.  Rows only one side has (new kernels,
    new experiments) are reported but do not fail the gate, so the
-   baseline does not need to grow in lockstep with the suite.  The
-   "optgap" experiment is skipped: its oracle columns depend on a
-   wall-clock SAT budget, so they are not stable across machines.
+   baseline does not need to grow in lockstep with the suite.
+
+   The "optgap" experiment is skipped by default: its oracle columns
+   depend on a SAT budget, so exact equality is not stable across
+   machines.  [--gate-optgap] turns on the budget-robust checks
+   instead: the two runs' {e certificates} must not contradict (a
+   current certified lower bound above a baseline model, or a current
+   model below the baseline's certified lower bound, is always a solver
+   bug regardless of budget), two proven optima must agree, and the
+   number of proven-optimal rows must not drop — a solver speed
+   regression shows up as a probe that no longer closes in budget.
 
    Each repeatable [--runtime-budget exp/kernel=seconds] flag adds a
    wall-clock ceiling on one CURRENT row's "runtime_s": a row over its
@@ -19,6 +27,10 @@
    like a quality regression.  Budgets are opt-in per row, so the
    default gate stays machine-independent; CI pins them only on the
    kernels whose hot-path performance is a tracked deliverable.
+
+   A baseline row whose "git" stamp carries a "-dirty" suffix draws a
+   warning: it was produced from an uncommitted tree, so it cannot be
+   correlated with any commit (the PR-7 baseline had exactly this flaw).
 
    Exit status: 0 clean, 1 on any quality regression or busted runtime
    budget, 2 on usage or parse errors.
@@ -31,6 +43,11 @@
 let quality_fields = [ "final_mii"; "legal"; "copies"; "wires" ]
 
 let skipped_experiments = [ "optgap" ]
+
+let contains_substring hay needle =
+  let hn = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= hn && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
 
 (* "key":value scanner over one emit_json line.  Values are scalars
    (number / bool / null) or %S-escaped strings; a string value is
@@ -108,7 +125,7 @@ let load path =
 let usage () =
   prerr_endline
     "usage: bench_guard [--runtime-budget EXP/KERNEL=SECONDS]... \
-     BASELINE.json CURRENT.json";
+     [--gate-optgap] BASELINE.json CURRENT.json";
   exit 2
 
 (* "exp/kernel=seconds" -> ((exp, kernel), seconds) *)
@@ -130,6 +147,7 @@ let parse_budget spec =
 let () =
   let budgets = ref [] in
   let paths = ref [] in
+  let gate_optgap = ref false in
   let rec parse_args = function
     | [] -> ()
     | "--runtime-budget" :: spec :: rest -> (
@@ -143,6 +161,9 @@ let () =
               spec;
             exit 2)
     | [ "--runtime-budget" ] -> usage ()
+    | "--gate-optgap" :: rest ->
+        gate_optgap := true;
+        parse_args rest
     | p :: rest ->
         paths := p :: !paths;
         parse_args rest
@@ -160,6 +181,23 @@ let () =
           exit 2
       | baseline, current ->
           let regressions = ref 0 and compared = ref 0 in
+          (* Provenance check: a -dirty stamp means the baseline was
+             generated from an uncommitted tree and matches no commit. *)
+          let dirty_rows =
+            List.filter
+              (fun (_, fields) ->
+                match List.assoc_opt "git" fields with
+                | Some v -> contains_substring v "-dirty"
+                | None -> false)
+              baseline
+          in
+          if dirty_rows <> [] then
+            Printf.printf
+              "  warning: %d baseline row(s) carry a -dirty git stamp \
+               (produced from an uncommitted tree); regenerate the baseline \
+               from a clean checkout\n"
+              (List.length dirty_rows);
+          let base_optimal = ref 0 and cur_optimal = ref 0 in
           List.iter
             (fun ((exp, kernel), cur_fields) ->
               let exp_name =
@@ -169,10 +207,61 @@ let () =
                 else exp
               in
               match List.assoc_opt (exp, kernel) baseline with
-              | _ when List.mem exp_name skipped_experiments -> ()
+              | _
+                when List.mem exp_name skipped_experiments
+                     && not (!gate_optgap && exp_name = "optgap") ->
+                  ()
               | None ->
                   Printf.printf "  new row %s/%s (not in baseline, ok)\n" exp
                     kernel
+              | Some base_fields when exp_name = "optgap" ->
+                  (* Budget-robust oracle checks: certificates from two
+                     runs of a sound solver can never contradict, no
+                     matter how their budgets differed. *)
+                  incr compared;
+                  let int_field fields name =
+                    Option.bind (List.assoc_opt name fields) int_of_string_opt
+                  in
+                  let status fields = List.assoc_opt "status" fields in
+                  if status base_fields = Some "\"optimal\"" then
+                    incr base_optimal;
+                  if status cur_fields = Some "\"optimal\"" then
+                    incr cur_optimal;
+                  (match
+                     ( int_field cur_fields "lower_bound",
+                       int_field base_fields "final_mii" )
+                   with
+                  | Some lc, Some fb when lc > fb ->
+                      incr regressions;
+                      Printf.printf
+                        "REGRESSION %s/%s: certified lower bound %d \
+                         contradicts baseline model at %d\n"
+                        exp kernel lc fb
+                  | _ -> ());
+                  (match
+                     ( int_field base_fields "lower_bound",
+                       int_field cur_fields "final_mii" )
+                   with
+                  | Some lb, Some fc when fc < lb ->
+                      incr regressions;
+                      Printf.printf
+                        "REGRESSION %s/%s: model at %d below baseline \
+                         certified lower bound %d\n"
+                        exp kernel fc lb
+                  | _ -> ());
+                  (match
+                     ( status base_fields,
+                       status cur_fields,
+                       int_field base_fields "final_mii",
+                       int_field cur_fields "final_mii" )
+                   with
+                  | Some "\"optimal\"", Some "\"optimal\"", Some a, Some b
+                    when a <> b ->
+                      incr regressions;
+                      Printf.printf
+                        "REGRESSION %s/%s: proven optimum moved from %d to %d\n"
+                        exp kernel a b
+                  | _ -> ())
               | Some base_fields ->
                   incr compared;
                   List.iter
@@ -194,6 +283,13 @@ let () =
                       | Some _, Some _ -> ())
                     quality_fields)
             current;
+          if !gate_optgap && !cur_optimal < !base_optimal then begin
+            incr regressions;
+            Printf.printf
+              "REGRESSION optgap: proven-optimal rows dropped from %d to %d \
+               (a probe no longer closes within its budget)\n"
+              !base_optimal !cur_optimal
+          end;
           List.iter
             (fun ((exp, kernel), _) ->
               if not (List.mem_assoc (exp, kernel) current) then

@@ -547,30 +547,55 @@ let rcp_cmd =
 
 let exact_cmd =
   let module O = Hca_exact.Oracle in
-  let run (name, f) fabric budget strict max_ii jobs no_hca trace =
+  let run (name, f) fabric budget strict max_ii jobs no_hca no_reuse trace =
+    ignore jobs;
     let ddg = f () in
     with_trace trace @@ fun () ->
     Format.printf "kernel %s on %s@." name (Dspfabric.name fabric);
-    let oracle = O.run ~strict ~budget_s:budget ?max_ii ~jobs fabric ddg in
+    (* Heuristic first: its final MII seeds the oracle's downward walk
+       (feasible by construction in relaxed mode), so the budget goes
+       into tightening the bound instead of rediscovering a model. *)
+    let report = if no_hca then None else Some (Report.run fabric ddg) in
+    let incumbent =
+      match report with
+      | Some r when r.Report.legal -> r.Report.final_mii
+      | _ -> None
+    in
+    let oracle =
+      O.run ~strict ~budget_s:budget ?max_ii ?incumbent ~reuse:(not no_reuse)
+        fabric ddg
+    in
     Format.printf "%a@." O.pp oracle;
-    if not no_hca then begin
-      let report = Report.run fabric ddg in
-      match report.Report.final_mii with
-      | None -> Format.printf "HCA heuristic: no legal clusterisation@."
-      | Some hca -> (
-          Format.printf "HCA heuristic final MII: %d@." hca;
-          match (oracle.O.status, oracle.O.final_mii) with
-          | O.Optimal, Some exact ->
-              Format.printf "optimality gap: %.2f@."
-                (Hca_baseline.Unified.optgap ~achieved:hca ~oracle:exact)
-          | _ ->
-              if oracle.O.lower_bound > 0 then
-                Format.printf
-                  "gap upper bound: %.2f (vs certified lower bound %d)@."
-                  (Hca_baseline.Unified.optgap ~achieved:hca
-                     ~oracle:oracle.O.lower_bound)
-                  oracle.O.lower_bound)
-    end
+    List.iter
+      (fun (p : O.probe) ->
+        Format.printf
+          "  probe k=%d: %s in %.3fs (conflicts %d, props %d, learnt %d, \
+           reused %d)@."
+          p.O.k
+          (match p.O.verdict with
+          | Hca_exact.Sat.Sat -> "sat"
+          | Hca_exact.Sat.Unsat -> "unsat"
+          | Hca_exact.Sat.Unknown -> "unknown")
+          p.O.time_s p.O.conflicts p.O.propagations p.O.learnt p.O.reused)
+      oracle.O.probes;
+    match report with
+    | None -> ()
+    | Some report -> (
+        match report.Report.final_mii with
+        | None -> Format.printf "HCA heuristic: no legal clusterisation@."
+        | Some hca -> (
+            Format.printf "HCA heuristic final MII: %d@." hca;
+            match (oracle.O.status, oracle.O.final_mii) with
+            | O.Optimal, Some exact ->
+                Format.printf "optimality gap: %.2f@."
+                  (Hca_baseline.Unified.optgap ~achieved:hca ~oracle:exact)
+            | _ ->
+                if oracle.O.lower_bound > 0 then
+                  Format.printf
+                    "gap upper bound: %.2f (vs certified lower bound %d)@."
+                    (Hca_baseline.Unified.optgap ~achieved:hca
+                       ~oracle:oracle.O.lower_bound)
+                    oracle.O.lower_bound))
   in
   let budget =
     Arg.(
@@ -595,14 +620,23 @@ let exact_cmd =
     Arg.(
       value & flag
       & info [ "no-hca" ]
-          ~doc:"Skip the HCA heuristic run and gap comparison.")
+          ~doc:"Skip the HCA heuristic run, the gap comparison and the \
+                incumbent seeding of the oracle walk.")
+  in
+  let no_reuse =
+    Arg.(
+      value & flag
+      & info [ "no-reuse" ]
+          ~doc:"Drop learnt clauses between MII probes instead of carrying \
+                them across the walk (the control arm of the incremental \
+                solver; verdicts are identical, only the work differs).")
   in
   Cmd.v
     (Cmd.info "exact"
        ~doc:"Exact SAT-based cluster-assignment oracle (optimality gap)")
     Term.(
       const run $ kernel_arg $ fabric_term $ budget $ strict $ max_ii
-      $ jobs_term $ no_hca $ trace_arg)
+      $ jobs_term $ no_hca $ no_reuse $ trace_arg)
 
 let fuzz_cmd =
   let module G = Hca_gen.Gen in

@@ -1,6 +1,24 @@
 open Hca_ddg
 open Hca_machine
 
+module Alloc_meter = struct
+  (* [Gc.allocated_bytes] and the minor-collection counter are
+     per-domain in OCaml 5, so at [jobs > 1] the workers' churn is
+     invisible to a meter started on the caller — the counters are for
+     the [--jobs 1] layout benchmarks. *)
+  type meter = { alloc0 : float; minor0 : int }
+
+  let start () =
+    {
+      alloc0 = Gc.allocated_bytes ();
+      minor0 = (Gc.quick_stat ()).Gc.minor_collections;
+    }
+
+  let mb m = (Gc.allocated_bytes () -. m.alloc0) /. (1024.0 *. 1024.0)
+
+  let minor_gcs m = (Gc.quick_stat ()).Gc.minor_collections - m.minor0
+end
+
 type t = {
   kernel : string;
   machine : string;
@@ -63,15 +81,9 @@ let run ?(config = Config.default) ?(jobs = 1) ?(memo = true) ?cache
   Hca_obs.Obs.span "report.run" ~args:[ ("kernel", Ddg.name ddg) ]
   @@ fun () ->
   let t0 = Hca_util.Clock.now () in
-  (* Allocation accounting for the whole search, on this domain only:
-     [Gc.allocated_bytes] and the minor-collection counter are
-     per-domain in OCaml 5, so at [jobs > 1] the workers' churn is
-     invisible here — the counters are for the [--jobs 1] layout
-     benchmarks. *)
-  let alloc0 = Gc.allocated_bytes () in
-  let minor0 = (Gc.quick_stat ()).Gc.minor_collections in
-  let alloc_mb () = (Gc.allocated_bytes () -. alloc0) /. (1024.0 *. 1024.0) in
-  let minor_gcs () = (Gc.quick_stat ()).Gc.minor_collections - minor0 in
+  let meter = Alloc_meter.start () in
+  let alloc_mb () = Alloc_meter.mb meter in
+  let minor_gcs () = Alloc_meter.minor_gcs meter in
   let base =
     {
       (base_row ~kernel:(Ddg.name ddg) ~machine:(Dspfabric.name fabric) ddg

@@ -12,6 +12,22 @@
 open Hca_ddg
 open Hca_machine
 
+(** Calling-domain allocation accounting, shared by {!run} and the
+    exact oracle: [Gc.allocated_bytes] / minor-collection deltas since
+    {!Alloc_meter.start}.  Per-domain in OCaml 5 — at [jobs > 1] worker
+    churn is invisible; compare like with like at [--jobs 1]. *)
+module Alloc_meter : sig
+  type meter
+
+  val start : unit -> meter
+
+  val mb : meter -> float
+  (** MB allocated on this domain since [start]. *)
+
+  val minor_gcs : meter -> int
+  (** Minor collections on this domain since [start]. *)
+end
+
 type t = {
   kernel : string;
   machine : string;

@@ -82,8 +82,34 @@ let at_most sat lits k =
     if m >= 2 then Sat.add_clause sat [ -lits.(m - 1); -s.(m - 2).(k - 1) ]
   end
 
-let encode ?(strict = false) inst ~k =
-  let sat = Sat.create () in
+let counter sat lits ~width =
+  let lits = Array.of_list lits in
+  let m = Array.length lits in
+  let w = min m width in
+  if w <= 0 then [||]
+  else begin
+    (* s.(i).(j): at least j+1 of lits.(0..i) are true — one-directional
+       (count => counter var), triangular allocation: row i only needs
+       columns up to min (i+1) w. *)
+    let s =
+      Array.init m (fun i -> Array.init (min (i + 1) w) (fun _ -> Sat.new_var sat))
+    in
+    Sat.add_clause sat [ -lits.(0); s.(0).(0) ];
+    for i = 1 to m - 1 do
+      Sat.add_clause sat [ -lits.(i); s.(i).(0) ];
+      Sat.add_clause sat [ -s.(i - 1).(0); s.(i).(0) ];
+      for j = 1 to Array.length s.(i) - 1 do
+        Sat.add_clause sat [ -lits.(i); -s.(i - 1).(j - 1); s.(i).(j) ];
+        if j < Array.length s.(i - 1) then
+          Sat.add_clause sat [ -s.(i - 1).(j); s.(i).(j) ]
+      done
+    done;
+    s.(m - 1)
+  end
+
+(* Adds x(n,c) with exactly-one rows and the r(s,c) receive indicators —
+   everything about the instance that does not depend on the bound k. *)
+let structure sat inst =
   let x =
     Array.init inst.n (fun _ -> Array.init inst.cns (fun _ -> Sat.new_var sat))
   in
@@ -110,7 +136,56 @@ let encode ?(strict = false) inst ~k =
         Sat.add_clause sat [ -x.(m).(c); x.(s).(c); r.(c) ]
       done)
     inst.pairs;
-  (* Per-CN windows: the cluster_mii <= k terms, clause for clause. *)
+  (x, recv)
+
+(* The strict-mode structural wire constraints.  The MUX fan-in bound is
+   k-independent; the single-out-wire payload groups (count <= k) are
+   returned for the caller to bound — directly or through a ladder. *)
+let strict_structure sat inst x =
+  let e =
+    Array.init inst.cns (fun _ -> Array.init inst.cns (fun _ -> Sat.new_var sat))
+  in
+  List.iter
+    (fun (s, m) ->
+      for a = 0 to inst.cns - 1 do
+        for b = 0 to inst.cns - 1 do
+          if a <> b then
+            Sat.add_clause sat [ -x.(s).(a); -x.(m).(b); e.(a).(b) ]
+        done
+      done)
+    inst.pairs;
+  for b = 0 to inst.cns - 1 do
+    let ins = ref [] in
+    for a = inst.cns - 1 downto 0 do
+      if a <> b then ins := e.(a).(b) :: !ins
+    done;
+    at_most sat !ins inst.max_in
+  done;
+  (* Single-out-wire payload: distinct values leaving a CN, <= k
+     (each flat CN owns one broadcastable outgoing wire). *)
+  let w = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      Hashtbl.replace w s (Array.init inst.cns (fun _ -> Sat.new_var sat)))
+    inst.producers;
+  List.iter
+    (fun (s, m) ->
+      let ws = Hashtbl.find w s in
+      for c = 0 to inst.cns - 1 do
+        Sat.add_clause sat [ -x.(s).(c); x.(m).(c); ws.(c) ]
+      done)
+    inst.pairs;
+  List.map
+    (fun c -> List.map (fun s -> (Hashtbl.find w s).(c)) inst.producers)
+    (List.init inst.cns (fun c -> c))
+
+(* Per-CN windows: the cluster_mii <= k terms, group by group.  Each
+   group is a literal set whose count must stay <= mult*k; [bound] is
+   how the caller enforces that (direct Sinz clauses for a fixed k,
+   counter-ladder assumptions for the incremental path).  A zero
+   multiplier means the class has no capacity at all: its literals are
+   forced false outright, identically at every k. *)
+let per_cn_groups sat inst (x, recv) ~bound =
   for c = 0 to inst.cns - 1 do
     let cap = inst.capacity.(c) in
     let issue = Resource.issue_slots cap in
@@ -120,64 +195,64 @@ let encode ?(strict = false) inst ~k =
       if is_alu inst nd then alus := x.(nd).(c) :: !alus
       else ags := x.(nd).(c) :: !ags
     done;
-    let recvs =
-      List.map (fun s -> (Hashtbl.find recv s).(c)) inst.producers
-    in
+    let recvs = List.map (fun s -> (Hashtbl.find recv s).(c)) inst.producers in
+    let force_false lits = List.iter (fun l -> Sat.add_clause sat [ -l ]) lits in
     (* total issue window (Resource.fits issue term) *)
-    at_most sat !all (issue * k);
+    if issue = 0 then force_false !all else bound !all issue;
     (* AG class window *)
-    if cap.Resource.ags = 0 then
-      List.iter (fun l -> Sat.add_clause sat [ -l ]) !ags
-    else at_most sat !ags (cap.Resource.ags * k);
+    if cap.Resource.ags = 0 then force_false !ags
+    else bound !ags cap.Resource.ags;
     (* ALU ops + receive primitives on the ALU issue slot *)
-    if cap.Resource.alus = 0 then
-      List.iter (fun l -> Sat.add_clause sat [ -l ]) !alus
-    else at_most sat (!alus @ recvs) (cap.Resource.alus * k);
+    if cap.Resource.alus = 0 then force_false !alus
+    else bound (!alus @ recvs) cap.Resource.alus;
     (* incoming-wire serialisation: ceil (recv / max_in) <= k *)
-    at_most sat recvs (inst.max_in * k)
-  done;
-  if strict then begin
-    (* Real-arc indicators e.(a).(b) bounded by the MUX capacity. *)
-    let e =
-      Array.init inst.cns (fun _ -> Array.init inst.cns (fun _ -> Sat.new_var sat))
-    in
+    if inst.max_in = 0 then force_false recvs else bound recvs inst.max_in
+  done
+
+let encode ?(strict = false) inst ~k =
+  let sat = Sat.create () in
+  let x, recv = structure sat inst in
+  per_cn_groups sat inst (x, recv) ~bound:(fun lits mult ->
+      at_most sat lits (mult * k));
+  if strict then
     List.iter
-      (fun (s, m) ->
-        for a = 0 to inst.cns - 1 do
-          for b = 0 to inst.cns - 1 do
-            if a <> b then
-              Sat.add_clause sat [ -x.(s).(a); -x.(m).(b); e.(a).(b) ]
-          done
-        done)
-      inst.pairs;
-    for b = 0 to inst.cns - 1 do
-      let ins = ref [] in
-      for a = inst.cns - 1 downto 0 do
-        if a <> b then ins := e.(a).(b) :: !ins
-      done;
-      at_most sat !ins inst.max_in
-    done;
-    (* Single-out-wire payload: distinct values leaving a CN, <= k
-       (each flat CN owns one broadcastable outgoing wire). *)
-    let w = Hashtbl.create 64 in
-    List.iter
-      (fun s ->
-        Hashtbl.replace w s (Array.init inst.cns (fun _ -> Sat.new_var sat)))
-      inst.producers;
-    List.iter
-      (fun (s, m) ->
-        let ws = Hashtbl.find w s in
-        for c = 0 to inst.cns - 1 do
-          Sat.add_clause sat [ -x.(s).(c); x.(m).(c); ws.(c) ]
-        done)
-      inst.pairs;
-    for c = 0 to inst.cns - 1 do
-      at_most sat
-        (List.map (fun s -> (Hashtbl.find w s).(c)) inst.producers)
-        k
-    done
-  end;
+      (fun ws -> at_most sat ws k)
+      (strict_structure sat inst x);
   { sat; assign_var = x }
+
+type incremental = {
+  enc : encoded;
+  max_k : int;
+  bounds : (int array * int) list;
+}
+
+let make ?(strict = false) ?reduce_start inst ~max_k =
+  if max_k < 1 then invalid_arg "Encode.make: max_k must be >= 1";
+  let sat = Sat.create ?reduce_start () in
+  let x, recv = structure sat inst in
+  let bounds = ref [] in
+  let bound lits mult =
+    (* Ladder wide enough for the loosest probe: at bound mult*max_k the
+       assumption literal is out.(mult*max_k), hence width max_k*mult+1.
+       A group smaller than its tightest bound never constrains and gets
+       no ladder at all. *)
+    let out = counter sat lits ~width:((mult * max_k) + 1) in
+    if Array.length out > 0 then bounds := (out, mult) :: !bounds
+  in
+  per_cn_groups sat inst (x, recv) ~bound;
+  if strict then
+    List.iter (fun ws -> bound ws 1) (strict_structure sat inst x);
+  { enc = { sat; assign_var = x }; max_k; bounds = List.rev !bounds }
+
+let assumptions inc ~k =
+  if k < 1 || k > inc.max_k then
+    invalid_arg
+      (Printf.sprintf "Encode.assumptions: k=%d outside [1, %d]" k inc.max_k);
+  List.filter_map
+    (fun (out, mult) ->
+      let b = mult * k in
+      if b < Array.length out then Some (-out.(b)) else None)
+    inc.bounds
 
 let decode inst { sat; assign_var } =
   Array.init inst.n (fun nd ->

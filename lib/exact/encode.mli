@@ -44,6 +44,17 @@ val at_most : Sat.t -> int list -> int -> unit
     (Sinz sequential counter; no clauses when the bound is slack).
     Exposed as the reusable cardinality brick of the encoding. *)
 
+val counter : Sat.t -> int list -> width:int -> int array
+(** [counter sat lits ~width] lays a one-directional Sinz counter
+    ladder over [lits] and returns its output column [out]:
+    [out.(j)] is implied whenever {e more than} [j] of the literals are
+    true, for [j < min (length lits) width].  "Count ≤ b" is then the
+    single assumption [¬out.(b)] — the incremental probing brick: the
+    ladder clauses are bound-independent, so every probe of a different
+    [b] reuses them (and everything learned from them).  Only the
+    count→counter direction is encoded; that keeps the ladder
+    equisatisfiable for at-most bounds while halving the clauses. *)
+
 type encoded = {
   sat : Sat.t;
   assign_var : int array array;  (** [assign_var.(n).(c)] = DIMACS var of x(n,c) *)
@@ -52,6 +63,32 @@ type encoded = {
 val encode : ?strict:bool -> instance -> k:int -> encoded
 (** Builds the formula for cluster-MII bound [k].  [strict] (default
     [false]) adds the MUX fan-in and out-wire constraints. *)
+
+(** An instance encoded {e once} for a whole family of bounds: the
+    k-independent structure plus one counter ladder per capacity group,
+    each probe "cluster MII ≤ k" expressed purely through assumption
+    literals — the clause set never changes between probes, so learnt
+    clauses, activities and phases carry over (DESIGN.md §16). *)
+type incremental = {
+  enc : encoded;  (** the shared solver and x(n,c) variables *)
+  max_k : int;  (** loosest probeable bound *)
+  bounds : (int array * int) list;
+      (** per capacity group: ladder outputs and the multiplier [mult]
+          such that the group's count must stay ≤ [mult]·k *)
+}
+
+val make : ?strict:bool -> ?reduce_start:int -> instance -> max_k:int -> incremental
+(** Builds the probe-many encoding.  [max_k] bounds the loosest probe
+    ({!assumptions} refuses larger k); ladder widths are sized to it,
+    so keep it at the first upper bound of the search (the heuristic
+    incumbent).  [reduce_start] is passed to {!Sat.create}.
+    @raise Invalid_argument if [max_k < 1]. *)
+
+val assumptions : incremental -> k:int -> int list
+(** The assumption literals expressing "every capacity group within its
+    k-window" — pass to {!Sat.solve}.  Groups too small to ever exceed
+    their window contribute nothing.
+    @raise Invalid_argument if [k] is outside [1, max_k]. *)
 
 val decode : instance -> encoded -> int array
 (** Reads the model back as a node -> CN map (indexed by problem-node

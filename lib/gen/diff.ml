@@ -86,10 +86,6 @@ let check_oracle fail opts fabric ddg report =
     | None -> Oracle_skipped "infeasible"
     | Some res -> (
         try
-          let o =
-            Hca_exact.Oracle.run ~budget_s:infinity
-              ~max_conflicts:opts.oracle_conflicts ~jobs:1 fabric ddg
-          in
           let einst =
             Hca_exact.Encode.of_problem (Hca_exact.Oracle.problem_of fabric ddg)
           in
@@ -98,6 +94,16 @@ let check_oracle fail opts fabric ddg report =
               res.Hierarchy.cn_of_instr
           in
           let achieved = max report.Report.ini_mii projected in
+          (* Seed the oracle's downward walk with the heuristic's own
+             flat projection: in relaxed mode the incumbent is feasible
+             by construction, so the conflict budget goes into
+             tightening.  The verdict stays a pure function of the
+             instance ([budget_s = infinity] + conflict budget). *)
+          let o =
+            Hca_exact.Oracle.run ~budget_s:infinity
+              ~max_conflicts:opts.oracle_conflicts ~incumbent:achieved
+              fabric ddg
+          in
           let lower = o.Hca_exact.Oracle.lower_bound in
           if lower > achieved then
             fail "oracle"

@@ -186,6 +186,179 @@ let test_encode_model_checks () =
   Alcotest.check result "k=1 unsat" Sat.Unsat (Sat.solve enc1.Encode.sat)
 
 (* ------------------------------------------------------------------ *)
+(* Counter ladder: the incremental probing brick.                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_ladder () =
+  let s = Sat.create () in
+  let vars = List.init 6 (fun _ -> Sat.new_var s) in
+  let out = Encode.counter s vars ~width:4 in
+  Alcotest.(check int) "width respected" 4 (Array.length out);
+  (* The same solver answers every bound b through one assumption. *)
+  let take n = List.filteri (fun i _ -> i < n) vars in
+  for b = 1 to 3 do
+    Alcotest.check result
+      (Printf.sprintf "%d > %d refuted" (b + 1) b)
+      Sat.Unsat
+      (Sat.solve ~assumptions:(-out.(b) :: take (b + 1)) s);
+    Alcotest.check result
+      (Printf.sprintf "%d <= %d fine" b b)
+      Sat.Sat
+      (Sat.solve ~assumptions:(-out.(b) :: take b) s)
+  done;
+  (* Unconstrained without the assumption: all six can be true. *)
+  Alcotest.check result "no bound assumed" Sat.Sat (Sat.solve ~assumptions:vars s)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental vs fresh equivalence, with and without clause reuse.     *)
+(* ------------------------------------------------------------------ *)
+
+(* Probe "cluster MII <= k" for every k in [1, max_k], three ways: a
+   fresh encoding+solver per k, one incremental solver reusing learnt
+   clauses across the walk, and one incremental solver dropping them
+   before every probe.  All three must return the same verdict at every
+   single k — which also pins the certified optimum. *)
+(* Indexed ascending by k (element i is the verdict at k = i + 1); the
+   incremental solvers still probe in the oracle's downward order. *)
+let probe_every_k inst ~max_k =
+  let fresh =
+    List.init max_k (fun i ->
+        let enc = Encode.encode inst ~k:(i + 1) in
+        Sat.solve enc.Encode.sat)
+  in
+  let incremental ~reuse =
+    let inc = Encode.make inst ~max_k in
+    let sat = inc.Encode.enc.Encode.sat in
+    List.rev_map
+      (fun k ->
+        if not reuse then Sat.clear_learnt sat;
+        Sat.new_probe sat;
+        Sat.solve ~assumptions:(Encode.assumptions inc ~k) sat)
+      (List.init max_k (fun i -> max_k - i))
+  in
+  (fresh, incremental ~reuse:true, incremental ~reuse:false)
+
+let test_incremental_vs_fresh () =
+  List.iter
+    (fun seed ->
+      let ddg = Hca_gen.Gen.ddg ~seed () in
+      let fabric = Hca_gen.Gen.fabric ~seed () in
+      let inst = Encode.of_problem (Oracle.problem_of fabric ddg) in
+      let max_k = min 6 (Encode.size inst) in
+      let fresh, inc_reuse, inc_noreuse = probe_every_k inst ~max_k in
+      let check_against label =
+        List.iteri (fun i v ->
+            Alcotest.check result
+              (Printf.sprintf "seed %d k=%d %s matches fresh" seed (i + 1)
+                 label)
+              (List.nth fresh i) v)
+      in
+      check_against "reuse" inc_reuse;
+      check_against "no-reuse" inc_noreuse)
+    [ 3; 11; 23 ]
+
+let test_oracle_reuse_equivalence () =
+  (* Same verdict and same certified bounds with and without clause
+     reuse, at a fixed conflict budget (pure function of the instance). *)
+  let kernels =
+    chain4 () :: List.map (fun seed -> Hca_gen.Gen.ddg ~seed ()) [ 5; 29 ]
+  in
+  List.iter
+    (fun ddg ->
+      let go reuse =
+        Oracle.run ~budget_s:infinity ~max_conflicts:50_000 ~reuse small_fabric
+          ddg
+      in
+      let a = go true and b = go false in
+      Alcotest.(check string)
+        (Ddg.name ddg ^ ": status agrees")
+        (Oracle.status_to_string a.Oracle.status)
+        (Oracle.status_to_string b.Oracle.status);
+      Alcotest.(check (option int))
+        (Ddg.name ddg ^ ": final MII agrees")
+        a.Oracle.final_mii b.Oracle.final_mii;
+      Alcotest.(check int)
+        (Ddg.name ddg ^ ": lower bound agrees")
+        a.Oracle.lower_bound b.Oracle.lower_bound;
+      (* The reuse arm can only see reused hits; the control arm none. *)
+      Alcotest.(check int)
+        (Ddg.name ddg ^ ": control arm has no cross-probe hits")
+        0 b.Oracle.reused_hits)
+    kernels
+
+(* ------------------------------------------------------------------ *)
+(* Model soundness across clause-DB reductions.                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_model_check_after_reduction () =
+  (* A reduce_start low enough that every non-trivial solve crosses it
+     several times: models must still satisfy the original clauses. *)
+  (* 3-SAT near the phase transition (ratio ~4.25) so each solve racks
+     up enough conflicts to cross the reduction limit repeatedly. *)
+  let prng = Hca_util.Prng.create 20260808 in
+  let nvars = 40 and nclauses = 170 in
+  let reductions = ref 0 in
+  for round = 1 to 12 do
+    let clauses =
+      List.init nclauses (fun _ ->
+          List.init 3 (fun _ ->
+              let v = 1 + Hca_util.Prng.int prng nvars in
+              if Hca_util.Prng.bool prng then v else -v))
+    in
+    let s = Sat.create ~reduce_start:8 () in
+    for _ = 1 to nvars do
+      ignore (Sat.new_var s)
+    done;
+    List.iter (Sat.add_clause s) clauses;
+    (match Sat.solve s with
+    | Sat.Sat ->
+        (* Against the original clause list... *)
+        List.iter
+          (fun clause ->
+            Alcotest.(check bool)
+              (Printf.sprintf "round %d: original clause satisfied" round)
+              true
+              (List.exists
+                 (fun l ->
+                   if l > 0 then Sat.value s l else not (Sat.value s (-l)))
+                 clause))
+          clauses;
+        (* ... and against what the arena still stores after GC. *)
+        Sat.fold_problem_clauses s
+          (fun () clause ->
+            Alcotest.(check bool)
+              (Printf.sprintf "round %d: stored clause satisfied" round)
+              true
+              (List.exists
+                 (fun l ->
+                   if l > 0 then Sat.value s l else not (Sat.value s (-l)))
+                 clause))
+          ()
+    | Sat.Unsat -> ()
+    | Sat.Unknown -> Alcotest.fail "no budget was set");
+    reductions := !reductions + Sat.deleted_total s
+  done;
+  Alcotest.(check bool)
+    "the reduction path was actually exercised" true (!reductions > 0)
+
+let test_probe_epoch_stats () =
+  (* Two probes of the same instance: the second must fire clauses the
+     first learned.  chain4 at k=1 is a refutation with real learning. *)
+  let inst = Encode.of_problem (Oracle.problem_of small_fabric (chain4 ())) in
+  let inc = Encode.make inst ~max_k:4 in
+  let sat = inc.Encode.enc.Encode.sat in
+  Sat.new_probe sat;
+  Alcotest.check result "k=1 unsat" Sat.Unsat
+    (Sat.solve ~assumptions:(Encode.assumptions inc ~k:1) sat);
+  Alcotest.(check int) "no cross-probe hits yet" 0 (Sat.reused_hits sat);
+  let learnt_before = Sat.learnt_total sat in
+  Sat.new_probe sat;
+  Alcotest.check result "k=1 unsat again" Sat.Unsat
+    (Sat.solve ~assumptions:(Encode.assumptions inc ~k:1) sat);
+  Alcotest.(check bool) "second refutation reused learned clauses" true
+    (Sat.reused_hits sat > 0 || Sat.learnt_total sat = learnt_before)
+
+(* ------------------------------------------------------------------ *)
 (* Cross-check: the oracle is a certified lower bound on the SEE.       *)
 (* ------------------------------------------------------------------ *)
 
@@ -243,6 +416,17 @@ let () =
         [
           Alcotest.test_case "at most k" `Quick test_at_most;
           Alcotest.test_case "at most 0" `Quick test_at_most_zero;
+          Alcotest.test_case "counter ladder" `Quick test_counter_ladder;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "vs fresh at every k" `Slow
+            test_incremental_vs_fresh;
+          Alcotest.test_case "oracle reuse on/off" `Slow
+            test_oracle_reuse_equivalence;
+          Alcotest.test_case "model check after reduction" `Quick
+            test_model_check_after_reduction;
+          Alcotest.test_case "probe epochs" `Quick test_probe_epoch_stats;
         ] );
       ( "oracle",
         [
