@@ -27,6 +27,15 @@
    kernel.  Every row also carries "config_hash" and "git" so results
    can be tied back to the code state that produced them.
 
+   The global flag --telemetry arms the production observability stack
+   (the lib/obs flight-recorder ring, exactly what `hca serve` runs
+   with) around the experiments WITHOUT renaming them — rows stay
+   comparable row-for-row with a plain run, which is how CI's
+   telemetry-overhead gate measures the cost of leaving the recorder
+   on: same experiment/kernel keys, bit-identical quality fields, only
+   runtime_s may move (and bench_guard --overhead-budget bounds by how
+   much).
+
    The global flag --jobs N (default: Domain.recommended_domain_count)
    sizes the domain pool: table1 fans out the portfolio configurations,
    fig_scaling/extended fan out over kernels, and optgap probes oracle
@@ -46,6 +55,8 @@ let reference = Dspfabric.reference
 let json_mode = ref false
 
 let profile_mode = ref false
+
+let telemetry_mode = ref false
 
 let jobs = ref (Hca_util.Domain_pool.default_jobs ())
 
@@ -1019,6 +1030,9 @@ let () =
     | "--profile" :: rest ->
         profile_mode := true;
         parse acc rest
+    | "--telemetry" :: rest ->
+        telemetry_mode := true;
+        parse acc rest
     | "--jobs" :: v :: rest ->
         set_jobs v;
         parse acc rest
@@ -1045,6 +1059,11 @@ let () =
     | a :: rest -> parse (a :: acc) rest
   in
   let args = parse [] (List.tl (Array.to_list Sys.argv)) in
+  (* Arm the daemon's production telemetry (the flight ring) for the
+     whole run; every span instrumentation point now pays its armed
+     cost.  The experiment names stay the same on purpose — see the
+     header comment. *)
+  if !telemetry_mode then Hca_obs.Obs.Ring.arm ();
   match args with
   | _ :: _ as names ->
       List.iter

@@ -28,6 +28,13 @@
    default gate stays machine-independent; CI pins them only on the
    kernels whose hot-path performance is a tracked deliverable.
 
+   Each repeatable [--overhead-budget exp/kernel=factor] flag instead
+   gates the RATIO of the current row's "runtime_s" to the baseline's:
+   current must be <= factor * baseline.  Since both runs come from the
+   same machine in the same CI job, the ratio is machine-independent —
+   this is how the telemetry-overhead gate proves that arming the
+   observability stack costs at most the budgeted factor.
+
    A baseline row whose "git" stamp carries a "-dirty" suffix draws a
    warning: it was produced from an uncommitted tree, so it cannot be
    correlated with any commit (the PR-7 baseline had exactly this flaw).
@@ -125,7 +132,8 @@ let load path =
 let usage () =
   prerr_endline
     "usage: bench_guard [--runtime-budget EXP/KERNEL=SECONDS]... \
-     [--gate-optgap] BASELINE.json CURRENT.json";
+     [--overhead-budget EXP/KERNEL=FACTOR]... [--gate-optgap] \
+     BASELINE.json CURRENT.json";
   exit 2
 
 (* "exp/kernel=seconds" -> ((exp, kernel), seconds) *)
@@ -146,6 +154,7 @@ let parse_budget spec =
 
 let () =
   let budgets = ref [] in
+  let overheads = ref [] in
   let paths = ref [] in
   let gate_optgap = ref false in
   let rec parse_args = function
@@ -161,6 +170,17 @@ let () =
               spec;
             exit 2)
     | [ "--runtime-budget" ] -> usage ()
+    | "--overhead-budget" :: spec :: rest -> (
+        match parse_budget spec with
+        | Some b ->
+            overheads := b :: !overheads;
+            parse_args rest
+        | None ->
+            Printf.eprintf
+              "bench_guard: bad --overhead-budget %S (want exp/kernel=factor)\n"
+              spec;
+            exit 2)
+    | [ "--overhead-budget" ] -> usage ()
     | "--gate-optgap" :: rest ->
         gate_optgap := true;
         parse_args rest
@@ -170,6 +190,7 @@ let () =
   in
   parse_args (List.tl (Array.to_list Sys.argv));
   let budgets = List.rev !budgets in
+  let overheads = List.rev !overheads in
   match List.rev !paths with
   | [ baseline_path; current_path ] -> (
       match (load baseline_path, load current_path) with
@@ -328,6 +349,46 @@ let () =
                       Printf.printf "  %s/%s runtime_s %.3f within budget %.3f\n"
                         exp kernel t budget_s))
             budgets;
+          (* Ratio gate: current runtime_s <= factor * baseline
+             runtime_s for the same (experiment, kernel) row.  Both
+             runs come from this invocation's two input files, so the
+             comparison cancels the machine out. *)
+          List.iter
+            (fun ((exp, kernel), factor) ->
+              let key = (Printf.sprintf "%S" exp, Printf.sprintf "%S" kernel) in
+              let runtime rows =
+                Option.bind (List.assoc_opt key rows) (fun fields ->
+                    Option.bind
+                      (List.assoc_opt "runtime_s" fields)
+                      float_of_string_opt)
+              in
+              match (runtime baseline, runtime current) with
+              | None, _ | _, None ->
+                  incr regressions;
+                  Printf.printf
+                    "REGRESSION %s/%s: overhead budget %.2fx set but the row \
+                     (with runtime_s) is missing from %s\n"
+                    exp kernel factor
+                    (if runtime baseline = None then "the baseline run"
+                     else "the current run")
+              | Some base_t, Some cur_t ->
+                  if cur_t > factor *. base_t then begin
+                    incr regressions;
+                    Printf.printf
+                      "REGRESSION %s/%s: runtime_s %.3f is %.2fx the baseline \
+                       %.3f (budget %.2fx)\n"
+                      exp kernel cur_t
+                      (if base_t > 0. then cur_t /. base_t else infinity)
+                      base_t factor
+                  end
+                  else
+                    Printf.printf
+                      "  %s/%s runtime_s %.3f vs baseline %.3f (%.2fx, budget \
+                       %.2fx)\n"
+                      exp kernel cur_t base_t
+                      (if base_t > 0. then cur_t /. base_t else 0.)
+                      factor)
+            overheads;
           if !regressions > 0 then begin
             Printf.printf "bench_guard: %d quality regression(s) over %d rows\n"
               !regressions !compared;

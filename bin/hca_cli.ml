@@ -741,11 +741,37 @@ let store_arg =
            back on graceful shutdown, so a restarted daemon starts warm.")
 
 let serve_cmd =
-  let run socket stdio jobs store trace =
-    if stdio then Hca_serve.Daemon.run_stdio ~jobs ?store_path:store ()
+  let run socket stdio jobs store trace log log_level trace_sample trace_dir
+      slow_ms no_flight flight_capacity =
+    (* The log sink comes up before anything else so that even the
+       store loading at daemon creation is covered. *)
+    (match log with
+    | None -> ()
+    | Some "stderr" -> Hca_obs.Obs.Log.to_stderr ()
+    | Some file -> Hca_obs.Obs.Log.to_file file);
+    (match Hca_obs.Obs.Log.level_of_string log_level with
+    | Some l -> Hca_obs.Obs.Log.set_level l
+    | None ->
+        Printf.eprintf "hca serve: unknown log level %S (want debug|info|warn|error)\n"
+          log_level;
+        exit 2);
+    let telemetry =
+      {
+        Hca_serve.Daemon.trace_sample;
+        slow_ms;
+        flight = not no_flight;
+        flight_capacity;
+        trace_dir =
+          Option.value
+            ~default:Hca_serve.Daemon.default_telemetry.Hca_serve.Daemon.trace_dir
+            trace_dir;
+      }
+    in
+    if stdio then
+      Hca_serve.Daemon.run_stdio ~jobs ?store_path:store ~telemetry ()
     else
       Hca_serve.Daemon.run_socket ~path:socket ~jobs ?store_path:store ?trace
-        ()
+        ~telemetry ()
   in
   let stdio =
     Arg.(
@@ -763,13 +789,78 @@ let serve_cmd =
             "Worker domains solving queued requests (the serving loop is \
              not one of them).")
   in
+  let log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log" ] ~docv:"FILE"
+          ~doc:
+            "Structured logging: append one JSON object per lifecycle event \
+             (submit, start, finish, cancel, expiry, crash, store flush, \
+             connection churn) to $(docv), or to stderr when $(docv) is \
+             $(b,stderr).")
+  in
+  let log_level =
+    Arg.(
+      value & opt string "info"
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:"Minimum level reaching the log sink: debug|info|warn|error.")
+  in
+  let trace_sample =
+    Arg.(
+      value & opt int 0
+      & info [ "trace-sample" ] ~docv:"N"
+          ~doc:
+            "Trace every $(docv)-th request (by id) into a per-request \
+             Chrome trace file, as if it had been submitted with \
+             trace:true.  0 (default) traces only explicit requests.")
+  in
+  let trace_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-dir" ] ~docv:"DIR"
+          ~doc:
+            "Where per-request traces (req-<id>.json) and flight-recorder \
+             dumps (flight-<id>.json) are written (created on demand; \
+             default: hca-traces under the system temp directory).")
+  in
+  let slow_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Dump the flight recorder for any request slower than $(docv) \
+             milliseconds end-to-end, even when it succeeds.")
+  in
+  let no_flight =
+    Arg.(
+      value & flag
+      & info [ "no-flight" ]
+          ~doc:
+            "Disarm the always-on flight recorder (a fixed-size ring of \
+             recent events dumped post-mortem when a request crashes, \
+             misses its deadline or trips $(b,--slow-ms)).")
+  in
+  let flight_capacity =
+    Arg.(
+      value & opt int 4096
+      & info [ "flight-capacity" ] ~docv:"N"
+          ~doc:"Flight-recorder ring slots per domain.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the compile daemon: line-delimited JSON requests (submit / \
-          status / result / cancel / stats) over a Unix socket or stdio, \
-          with a persistent cross-request subproblem memo store")
-    Term.(const run $ socket_arg $ stdio $ jobs $ store_arg $ trace_arg)
+          status / result / cancel / stats / metrics) over a Unix socket \
+          or stdio, with a persistent cross-request subproblem memo store, \
+          structured logging, live metrics, per-request tracing and a \
+          flight recorder")
+    Term.(
+      const run $ socket_arg $ stdio $ jobs $ store_arg $ trace_arg $ log
+      $ log_level $ trace_sample $ trace_dir $ slow_ms $ no_flight
+      $ flight_capacity)
 
 let loadtest_cmd =
   let run socket count jobs seed max_size deadline verify out =
@@ -840,6 +931,159 @@ let loadtest_cmd =
       const run $ socket_arg $ count $ jobs $ seed $ max_size $ deadline
       $ verify $ out)
 
+let top_cmd =
+  let module J = Hca_serve.Json in
+  let fetch socket line =
+    match Hca_serve.Loadtest.rpc_once ~path:socket line with
+    | Ok j -> j
+    | Error e ->
+        Printf.eprintf "hca top: %s\n" e;
+        exit 1
+  in
+  (* Client-side sanity check of the exposition: every non-comment line
+     must be "<series> <float>".  A scrape that passes here parses in
+     any Prometheus-text consumer. *)
+  let check_prometheus text =
+    let bad = ref 0 in
+    List.iter
+      (fun line ->
+        if line <> "" && line.[0] <> '#' then
+          let ok =
+            match String.rindex_opt line ' ' with
+            | None -> false
+            | Some i ->
+                String.length line > i + 1
+                && float_of_string_opt
+                     (String.sub line (i + 1) (String.length line - i - 1))
+                   <> None
+          in
+          if not ok then begin
+            incr bad;
+            Printf.eprintf "hca top: bad series line %S\n" line
+          end)
+      (String.split_on_char '\n' text);
+    !bad = 0
+  in
+  let fnum j k =
+    Option.value ~default:0. (Option.bind (J.member k j) J.num)
+  in
+  let inum j k = int_of_float (fnum j k) in
+  let fields = function Some (J.Obj l) -> l | _ -> [] in
+  let render socket stats metrics =
+    Printf.printf "hca daemon @ %s  (up %.1f s, stamp %s)\n" socket
+      (fnum stats "uptime_s")
+      (Option.value ~default:"-"
+         (Option.bind (J.member "stamp" stats) J.str));
+    Printf.printf
+      "jobs: %d submitted | %d finished | %d queued | %d running | %d \
+       cancelled | %d expired | %d crashed\n"
+      (inum stats "submitted") (inum stats "finished") (inum stats "queued")
+      (inum stats "running")
+      (inum stats "cancelled")
+      (inum stats "expired") (inum stats "crashed")
+;
+    Printf.printf
+      "cache: +%d hits / +%d misses | %d entries (%d loaded at start)\n"
+      (inum stats "cache_hits") (inum stats "cache_misses")
+      (inum stats "cache_entries")
+      (inum stats "loaded_entries");
+    Printf.printf
+      "latency ms: p50 %.1f  p95 %.1f  p99 %.1f | %d trace file(s), %d \
+       flight dump(s)\n"
+      (fnum stats "latency_p50_ms")
+      (fnum stats "latency_p95_ms")
+      (fnum stats "latency_p99_ms")
+      (inum stats "trace_files")
+      (inum stats "flight_dumps");
+    let m = J.member "metrics" metrics in
+    let section name =
+      Option.bind m (fun m -> J.member name m) |> fun o -> fields o
+    in
+    let counters = section "counters" and gauges = section "gauges" in
+    if counters <> [] then begin
+      print_endline "counters:";
+      List.iter
+        (fun (name, v) ->
+          Printf.printf "  %-48s %d\n" name
+            (Option.value ~default:0 (J.int v)))
+        counters
+    end;
+    if gauges <> [] then begin
+      print_endline "gauges:";
+      List.iter
+        (fun (name, v) ->
+          Printf.printf "  %-48s %g\n" name (Option.value ~default:0. (J.num v)))
+        gauges
+    end;
+    let hists = section "histograms" in
+    if hists <> [] then begin
+      print_endline "histograms (count / mean):";
+      List.iter
+        (fun (name, h) ->
+          let count = inum h "count" and sum = fnum h "sum" in
+          Printf.printf "  %-48s %6d  %g\n" name count
+            (if count > 0 then sum /. float_of_int count else 0.))
+        hists
+    end
+  in
+  let run socket interval once prometheus check =
+    if prometheus then begin
+      let j = fetch socket {|{"verb":"metrics","format":"prometheus"}|} in
+      let text =
+        Option.value ~default:""
+          (Option.bind (J.member "prometheus" j) J.str)
+      in
+      print_string text;
+      if check && not (check_prometheus text) then exit 1
+    end
+    else
+      let rec loop () =
+        let stats = fetch socket {|{"verb":"stats"}|} in
+        let metrics = fetch socket {|{"verb":"metrics"}|} in
+        if not once then print_string "\027[2J\027[H";
+        render socket stats metrics;
+        flush stdout;
+        if not once then begin
+          Unix.sleepf interval;
+          loop ()
+        end
+      in
+      loop ()
+  in
+  let interval =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval" ] ~docv:"SECONDS" ~doc:"Refresh period.")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ] ~doc:"Print one snapshot and exit (no screen clear).")
+  in
+  let prometheus =
+    Arg.(
+      value & flag
+      & info [ "prometheus" ]
+          ~doc:
+            "Print one raw Prometheus text exposition scrape instead of the \
+             dashboard, ready to pipe into a scraper or a file.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "With $(b,--prometheus): validate every series line client-side \
+             (name then float) and exit non-zero on any malformed line.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live dashboard over a running daemon: polls the stats and metrics \
+          verbs and renders queue depth, outcome counters, memo \
+          effectiveness and latency tails")
+    Term.(const run $ socket_arg $ interval $ once $ prometheus $ check)
+
 let list_cmd =
   let run () =
     let table1 = List.sort compare Registry.names in
@@ -857,4 +1101,4 @@ let () =
     Cmd.info "hca" ~version:"1.0.0"
       ~doc:"Hierarchical Cluster Assignment for DSPFabric (IPPS 2007 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ stats_cmd; run_cmd; profile_cmd; tracecheck_cmd; exact_cmd; table1_cmd; dot_cmd; explain_cmd; level0_cmd; topology_cmd; sched_cmd; simulate_cmd; portfolio_cmd; rcp_cmd; fuzz_cmd; serve_cmd; loadtest_cmd; list_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ stats_cmd; run_cmd; profile_cmd; tracecheck_cmd; exact_cmd; table1_cmd; dot_cmd; explain_cmd; level0_cmd; topology_cmd; sched_cmd; simulate_cmd; portfolio_cmd; rcp_cmd; fuzz_cmd; serve_cmd; loadtest_cmd; top_cmd; list_cmd ]))

@@ -76,6 +76,19 @@ let base_row ~kernel ~machine ddg fabric_resources =
     result = None;
   }
 
+(* Live-registry accounting of every finished run.  Registry updates
+   never feed back into the search, so the report itself is unchanged
+   by them (see [invariant_string]). *)
+let finalize r =
+  let module R = Hca_obs.Obs.Registry in
+  R.inc "hca_reports_total";
+  R.observe "hca_report_runtime_ms" (r.runtime_s *. 1000.);
+  R.observe
+    ~buckets:[| 1.; 4.; 16.; 64.; 256.; 1024.; 4096. |]
+    "hca_report_alloc_mb" r.alloc_mb;
+  R.inc ~by:r.minor_gcs "hca_minor_gcs_total";
+  r
+
 let run ?(config = Config.default) ?(jobs = 1) ?(memo = true) ?cache
     ?deadline_s fabric ddg =
   Hca_obs.Obs.span "report.run" ~args:[ ("kernel", Ddg.name ddg) ]
@@ -191,6 +204,7 @@ let run ?(config = Config.default) ?(jobs = 1) ?(memo = true) ?cache
       let cache_hits, cache_misses, reused_subproblems =
         sum_stats (range base.ini_mii ii_limit)
       in
+      finalize
       {
         base with
         error =
@@ -242,6 +256,7 @@ let run ?(config = Config.default) ?(jobs = 1) ?(memo = true) ?cache
       let cache_hits, cache_misses, reused_subproblems =
         sum_stats (range base.ini_mii ii0 @ patience_iis)
       in
+      finalize
       {
         base with
         legal;

@@ -121,6 +121,13 @@ let run ?(strict = false) ?(budget_s = 10.) ?max_conflicts ?max_ii ?incumbent
           Hca_obs.Obs.count "sat.propagations" d_props;
           Hca_obs.Obs.count "sat.learnt" d_learnt;
           Hca_obs.Obs.count "sat.reused_hits" d_reused;
+          (* Live registry mirrors, summed per probe (never per
+             conflict — the solver loop stays untouched). *)
+          Hca_obs.Obs.Registry.inc "hca_oracle_probes_total";
+          Hca_obs.Obs.Registry.inc ~by:d_conflicts "hca_oracle_conflicts_total";
+          Hca_obs.Obs.Registry.inc ~by:d_props "hca_oracle_propagations_total";
+          Hca_obs.Obs.Registry.inc ~by:d_learnt "hca_oracle_learnt_total";
+          Hca_obs.Obs.Registry.inc ~by:d_reused "hca_oracle_reused_hits_total";
           probes :=
             {
               k;

@@ -4,6 +4,26 @@ module Config = Hca_core.Config
 module Dspfabric = Hca_machine.Dspfabric
 module Ddg = Hca_ddg.Ddg
 module Ddg_io = Hca_ddg.Ddg_io
+module Obs = Hca_obs.Obs
+module Log = Hca_obs.Obs.Log
+module Registry = Hca_obs.Obs.Registry
+
+type telemetry = {
+  trace_dir : string;
+  trace_sample : int;
+  slow_ms : float option;
+  flight : bool;
+  flight_capacity : int;
+}
+
+let default_telemetry =
+  {
+    trace_dir = Filename.concat (Filename.get_temp_dir_name ()) "hca-traces";
+    trace_sample = 0;
+    slow_ms = None;
+    flight = false;
+    flight_capacity = 4096;
+  }
 
 type t = {
   q : Jobq.t;
@@ -12,6 +32,7 @@ type t = {
   stamp : string;
   loaded : int;
   started_s : float;
+  tel : telemetry;
   mutable stopping : bool;
 }
 
@@ -20,31 +41,151 @@ type reply =
   | Wait_for of int
   | Shutdown_after of string
 
-let create ?pool ?on_finish ?store_path ?stamp () =
+let rec ensure_dir d =
+  if d <> "" && d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+    ensure_dir (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (EEXIST, _, _) -> ()
+  end
+
+let trace_file t id =
+  Filename.concat t.tel.trace_dir (Printf.sprintf "req-%d.json" id)
+
+let flight_file t id =
+  Filename.concat t.tel.trace_dir (Printf.sprintf "flight-%d.json" id)
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry plumbing                                                  *)
+
+let outcome_label = function
+  | Jobq.Expired -> "expired"
+  | Jobq.Crashed _ -> "crashed"
+  | Jobq.Solved r ->
+      if r.Report.timed_out then "timed_out"
+      else if r.Report.legal && r.Report.error = None then "solved"
+      else "failed"
+
+let set_queue_gauges t =
+  Registry.set "hca_queue_depth" (float_of_int (Jobq.queued t.q));
+  Registry.set "hca_jobs_inflight" (float_of_int (Jobq.running t.q))
+
+(* Every lifecycle transition lands here (from the acting domain,
+   outside the queue lock): registry counters + gauges, a structured
+   log line, and — for crashed / expired / timed-out / slow jobs — a
+   flight-recorder dump named by request id. *)
+let on_job_event t ev =
+  (match ev with
+  | Jobq.Submitted { id; label; priority } ->
+      Registry.inc "hca_jobs_submitted_total";
+      Log.info "job.submit" ~req:id
+        [ ("kernel", Log.S label); ("priority", Log.I priority) ]
+  | Jobq.Started { id; label; wait_s } ->
+      Log.debug "job.start" ~req:id
+        [ ("kernel", Log.S label); ("wait_ms", Log.F (wait_s *. 1000.)) ]
+  | Jobq.Cancelled_job { id; label; latency_s } ->
+      Registry.inc "hca_jobs_cancelled_total";
+      Log.info "job.cancel" ~req:id
+        [ ("kernel", Log.S label); ("latency_ms", Log.F (latency_s *. 1000.)) ]
+  | Jobq.Done { id; label; outcome; latency_s; run_s } ->
+      let olabel = outcome_label outcome in
+      Registry.inc (Printf.sprintf "hca_jobs_done_total{outcome=%S}" olabel);
+      Registry.observe "hca_request_latency_ms" (latency_s *. 1000.);
+      Registry.observe "hca_request_run_ms" (run_s *. 1000.);
+      (match outcome with
+      | Jobq.Solved r ->
+          Registry.inc ~by:r.Report.cache_hits "hca_memo_hits_total";
+          Registry.inc ~by:r.Report.cache_misses "hca_memo_misses_total"
+      | Jobq.Expired | Jobq.Crashed _ -> ());
+      let slow =
+        match t.tel.slow_ms with
+        | Some ms -> latency_s *. 1000. > ms
+        | None -> false
+      in
+      let bad =
+        match outcome with
+        | Jobq.Expired | Jobq.Crashed _ -> true
+        | Jobq.Solved r -> r.Report.timed_out
+      in
+      let level =
+        match outcome with
+        | Jobq.Crashed _ -> Log.Error
+        | _ when bad || slow -> Log.Warn
+        | _ -> Log.Info
+      in
+      Log.log level "job.finish" ~req:id
+        ([
+           ("kernel", Log.S label);
+           ("outcome", Log.S olabel);
+           ("latency_ms", Log.F (latency_s *. 1000.));
+           ("run_ms", Log.F (run_s *. 1000.));
+         ]
+        @
+        match outcome with
+        | Jobq.Crashed e -> [ ("error", Log.S e) ]
+        | _ -> []);
+      if t.tel.flight && (bad || slow) then begin
+        let file = flight_file t id in
+        let reason = if bad then olabel else "slow" in
+        try
+          ensure_dir t.tel.trace_dir;
+          Obs.Ring.write
+            ~meta:
+              [
+                ("request", string_of_int id);
+                ("kernel", label);
+                ("reason", reason);
+              ]
+            file;
+          Registry.inc "hca_flight_dumps_total";
+          Log.warn "flight.dump" ~req:id
+            [ ("file", Log.S file); ("reason", Log.S reason) ]
+        with Sys_error e ->
+          Log.warn "flight.error" ~req:id [ ("error", Log.S e) ]
+      end);
+  set_queue_gauges t
+
+let create ?pool ?on_finish ?store_path ?stamp
+    ?(telemetry = default_telemetry) () =
   let stamp =
     match stamp with Some s -> s | None -> Store.default_stamp ()
   in
+  if telemetry.flight then
+    Obs.Ring.arm ~capacity:telemetry.flight_capacity ();
   let cache, loaded =
     match store_path with
     | None -> (Hierarchy.create_cache (), 0)
     | Some path -> (
         match Store.load ~path ~stamp with
         | Ok (Some snap) ->
-            (Hierarchy.restore snap, Hierarchy.snapshot_length snap)
-        | Ok None -> (Hierarchy.create_cache (), 0)
+            let n = Hierarchy.snapshot_length snap in
+            Log.info "store.load" [ ("path", Log.S path); ("entries", Log.I n) ];
+            (Hierarchy.restore snap, n)
+        | Ok None ->
+            Log.info "store.load"
+              [ ("path", Log.S path); ("entries", Log.I 0) ];
+            (Hierarchy.create_cache (), 0)
         | Error e ->
             Printf.eprintf "hca serve: ignoring memo store: %s\n%!" e;
+            Log.warn "store.error" [ ("error", Log.S e) ];
             (Hierarchy.create_cache (), 0))
   in
-  {
-    q = Jobq.create ?pool ?on_finish ();
-    cache;
-    store_path;
-    stamp;
-    loaded;
-    started_s = Hca_util.Clock.now ();
-    stopping = false;
-  }
+  (* The observer needs the daemon (gauges read the queue); tie the
+     knot through a cell — no event can fire before [create] returns. *)
+  let tref = ref None in
+  let on_event ev = Option.iter (fun t -> on_job_event t ev) !tref in
+  let t =
+    {
+      q = Jobq.create ?pool ?on_finish ~on_event ();
+      cache;
+      store_path;
+      stamp;
+      loaded;
+      started_s = Hca_util.Clock.now ();
+      tel = telemetry;
+      stopping = false;
+    }
+  in
+  tref := Some t;
+  t
 
 let jobq t = t.q
 
@@ -57,8 +198,45 @@ let flush_store t =
   | None -> Ok None
   | Some path -> (
       match Store.save ~path ~stamp:t.stamp (Hierarchy.snapshot t.cache) with
-      | Ok n -> Ok (Some n)
-      | Error e -> Error e)
+      | Ok n ->
+          Log.info "store.flush" [ ("path", Log.S path); ("entries", Log.I n) ];
+          Ok (Some n)
+      | Error e ->
+          Log.warn "store.error" [ ("error", Log.S e) ];
+          Error e)
+
+(* Wrap a job's work in a per-request capture when this request is
+   traced — explicitly ([trace:true]) or by the 1-in-N sampler.  The
+   capture brackets only the solver (one worker domain, [jobs:1]), so
+   the stream is the complete request trace; the file is written even
+   when the work crashes.  Nothing here touches the report. *)
+let instrument t ~trace ~label work ~id ~deadline_s =
+  let tel = t.tel in
+  let traced =
+    trace || (tel.trace_sample > 0 && id mod tel.trace_sample = 0)
+  in
+  if not traced then work ~deadline_s
+  else begin
+    Obs.Capture.start ();
+    Fun.protect
+      ~finally:(fun () ->
+        let evs = Obs.Capture.stop () in
+        let file = trace_file t id in
+        try
+          ensure_dir tel.trace_dir;
+          Obs.Capture.write
+            ~meta:[ ("request", string_of_int id); ("kernel", label) ]
+            file evs;
+          Registry.inc "hca_trace_files_total";
+          Log.info "trace.write" ~req:id [ ("file", Log.S file) ]
+        with Sys_error e ->
+          Log.warn "trace.error" ~req:id [ ("error", Log.S e) ])
+      (fun () -> work ~deadline_s)
+  end
+
+let inject t ~label ?priority ?deadline_s ?(trace = false) work =
+  Jobq.submit t.q ~label ?priority ?deadline_s
+    (instrument t ~trace ~label work)
 
 (* ------------------------------------------------------------------ *)
 (* Kernel-source resolution                                            *)
@@ -187,6 +365,14 @@ let result_line t id =
 
 let stats_line t =
   let tot = Jobq.totals t.q in
+  let lat =
+    List.assoc_opt "hca_request_latency_ms" (Registry.snapshot ()).Registry.hists
+  in
+  let quant q =
+    match lat with
+    | None -> Json.Num 0.
+    | Some hv -> Json.Num (Registry.quantile hv q)
+  in
   Protocol.ok_response
     [
       ("uptime_s", Json.Num (Hca_util.Clock.now () -. t.started_s));
@@ -202,7 +388,26 @@ let stats_line t =
       ("cache_entries", num (cache_entries t));
       ("loaded_entries", num t.loaded);
       ("stamp", Json.Str t.stamp);
+      ("latency_p50_ms", quant 0.5);
+      ("latency_p95_ms", quant 0.95);
+      ("latency_p99_ms", quant 0.99);
+      ("trace_files", num (Registry.counter "hca_trace_files_total"));
+      ("flight_dumps", num (Registry.counter "hca_flight_dumps_total"));
     ]
+
+let metrics_line fmt =
+  match fmt with
+  | Protocol.Prometheus ->
+      Protocol.ok_response
+        [
+          ("format", Json.Str "prometheus");
+          ("prometheus", Json.Str (Registry.to_prometheus ()));
+        ]
+  | Protocol.Json_metrics -> (
+      match Json.parse (Registry.to_json_string ()) with
+      | Ok j -> Protocol.ok_response [ ("metrics", j) ]
+      | Error e ->
+          Protocol.error_response ("metrics serialisation: " ^ e))
 
 (* ------------------------------------------------------------------ *)
 (* The handler                                                         *)
@@ -212,7 +417,9 @@ let handle_submit t (s : Protocol.submit) =
     Line (Protocol.error_response "daemon is shutting down")
   else
     match resolve_source s.source with
-    | Error e -> Line (Protocol.error_response e)
+    | Error e ->
+        Log.warn "submit.reject" [ ("error", Log.S e) ];
+        Line (Protocol.error_response e)
     | Ok ddg -> (
         match
           match s.machine with
@@ -220,62 +427,83 @@ let handle_submit t (s : Protocol.submit) =
           | Some (n, m, k) -> Dspfabric.make ~n ~m ~k ()
         with
         | exception Invalid_argument e ->
+            Log.warn "submit.reject" [ ("error", Log.S ("bad machine: " ^ e)) ];
             Line (Protocol.error_response ("bad machine: " ^ e))
         | fabric ->
             let config = config_of s in
             let memo = s.memo in
             let cache = if memo then Some t.cache else None in
+            let label = Ddg.name ddg in
             let work ~deadline_s =
               Report.run ~config ~jobs:1 ~memo ?cache ?deadline_s fabric ddg
             in
             let id =
-              Jobq.submit t.q ~label:(Ddg.name ddg) ~priority:s.priority
-                ?deadline_s:s.deadline_s work
+              Jobq.submit t.q ~label ~priority:s.priority
+                ?deadline_s:s.deadline_s
+                (instrument t ~trace:s.trace ~label work)
             in
             Line
               (Protocol.ok_response
-                 [ ("id", num id); ("kernel", Json.Str (Ddg.name ddg)) ]))
+                 [ ("id", num id); ("kernel", Json.Str label) ]))
 
 let terminal = function
   | Some (Jobq.Finished _ | Jobq.Cancelled) -> true
   | Some (Jobq.Queued | Jobq.Running) | None -> false
 
+let verb_name = function
+  | Protocol.Submit _ -> "submit"
+  | Protocol.Status _ -> "status"
+  | Protocol.Result _ -> "result"
+  | Protocol.Cancel _ -> "cancel"
+  | Protocol.Stats -> "stats"
+  | Protocol.Metrics _ -> "metrics"
+  | Protocol.Ping -> "ping"
+  | Protocol.Shutdown -> "shutdown"
+
 let handle_line t line =
   match Protocol.request_of_line line with
-  | Error e -> Line (Protocol.error_response e)
-  | Ok (Protocol.Submit s) -> handle_submit t s
-  | Ok (Protocol.Status id) -> (
-      match Jobq.state t.q id with
-      | None ->
-          Line (Protocol.error_response (Printf.sprintf "unknown job %d" id))
-      | Some st ->
-          let label = Option.value ~default:"?" (Jobq.label t.q id) in
-          Line
-            (Protocol.ok_response
-               [
-                 ("id", num id);
-                 ("state", Json.Str (state_name st));
-                 ("kernel", Json.Str label);
-               ]))
-  | Ok (Protocol.Result { id; wait }) ->
-      let st = Jobq.state t.q id in
-      if terminal st then Line (result_line t id)
-      else if st = None then
-        Line (Protocol.error_response (Printf.sprintf "unknown job %d" id))
-      else if wait then Wait_for id
-      else Line (result_line t id) (* the "not finished" error *)
-  | Ok (Protocol.Cancel id) -> (
-      match Jobq.cancel t.q id with
-      | Ok () ->
-          Line
-            (Protocol.ok_response
-               [ ("id", num id); ("state", Json.Str "cancelled") ])
-      | Error e -> Line (Protocol.error_response e))
-  | Ok Protocol.Stats -> Line (stats_line t)
-  | Ok Protocol.Ping -> Line (Protocol.ok_response [ ("pong", Json.Bool true) ])
-  | Ok Protocol.Shutdown ->
-      t.stopping <- true;
-      Shutdown_after (Protocol.ok_response [ ("stopping", Json.Bool true) ])
+  | Error e ->
+      Registry.inc "hca_protocol_errors_total";
+      Line (Protocol.error_response e)
+  | Ok req -> (
+      Registry.inc (Printf.sprintf "hca_requests_total{verb=%S}" (verb_name req));
+      match req with
+      | Protocol.Submit s -> handle_submit t s
+      | Protocol.Status id -> (
+          match Jobq.state t.q id with
+          | None ->
+              Line (Protocol.error_response (Printf.sprintf "unknown job %d" id))
+          | Some st ->
+              let label = Option.value ~default:"?" (Jobq.label t.q id) in
+              Line
+                (Protocol.ok_response
+                   [
+                     ("id", num id);
+                     ("state", Json.Str (state_name st));
+                     ("kernel", Json.Str label);
+                   ]))
+      | Protocol.Result { id; wait } ->
+          let st = Jobq.state t.q id in
+          if terminal st then Line (result_line t id)
+          else if st = None then
+            Line (Protocol.error_response (Printf.sprintf "unknown job %d" id))
+          else if wait then Wait_for id
+          else Line (result_line t id) (* the "not finished" error *)
+      | Protocol.Cancel id -> (
+          match Jobq.cancel t.q id with
+          | Ok () ->
+              Line
+                (Protocol.ok_response
+                   [ ("id", num id); ("state", Json.Str "cancelled") ])
+          | Error e -> Line (Protocol.error_response e))
+      | Protocol.Stats -> Line (stats_line t)
+      | Protocol.Metrics fmt -> Line (metrics_line fmt)
+      | Protocol.Ping ->
+          Line (Protocol.ok_response [ ("pong", Json.Bool true) ])
+      | Protocol.Shutdown ->
+          t.stopping <- true;
+          Log.info "daemon.shutdown" [ ("via", Log.S "verb") ];
+          Shutdown_after (Protocol.ok_response [ ("stopping", Json.Bool true) ]))
 
 (* ------------------------------------------------------------------ *)
 (* stdio transport                                                     *)
@@ -288,13 +516,13 @@ let finalise t pool =
   | Error e -> Printf.eprintf "hca serve: %s\n%!" e);
   Option.iter Hca_util.Domain_pool.shutdown pool
 
-let run_stdio ?(jobs = 1) ?store_path ?stamp () =
+let run_stdio ?(jobs = 1) ?store_path ?stamp ?telemetry () =
   let pool =
     if jobs > 1 then
       Some (Hca_util.Domain_pool.create ~dedicated:true ~jobs ())
     else None
   in
-  let t = create ?pool ?store_path ?stamp () in
+  let t = create ?pool ?store_path ?stamp ?telemetry () in
   let say s =
     print_string s;
     print_newline ();
@@ -355,7 +583,7 @@ let take_lines conn =
   if !start < n then Buffer.add_substring conn.inbuf s !start (n - !start);
   List.rev !lines
 
-let run_socket ~path ?jobs ?store_path ?stamp ?trace () =
+let run_socket ~path ?jobs ?store_path ?stamp ?trace ?telemetry () =
   let jobs =
     match jobs with
     | Some j -> max 1 j
@@ -374,7 +602,7 @@ let run_socket ~path ?jobs ?store_path ?stamp ?trace () =
     try ignore (Unix.write wake_w poke_buf 0 1)
     with Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
   in
-  let t = create ~pool ~on_finish:poke ?store_path ?stamp () in
+  let t = create ~pool ~on_finish:poke ?store_path ?stamp ?telemetry () in
   let stop = ref false in
   let on_signal _ =
     t.stopping <- true;
@@ -393,10 +621,12 @@ let run_socket ~path ?jobs ?store_path ?stamp ?trace () =
   let listen_fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
   Unix.bind listen_fd (ADDR_UNIX path);
   Unix.listen listen_fd 16;
+  Log.info "daemon.listen" [ ("socket", Log.S path); ("jobs", Log.I jobs) ];
   let conns = ref [] in
   let drop conn =
     conns := List.filter (fun c -> c.fd != conn.fd) !conns;
-    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    Log.debug "conn.close" [ ("open", Log.I (List.length !conns)) ]
   in
   (* Answer every waiting id whose job went terminal since last time. *)
   let settle conn =
@@ -458,10 +688,12 @@ let run_socket ~path ?jobs ?store_path ?stamp ?trace () =
           | fd, _ ->
               conns :=
                 { fd; inbuf = Buffer.create 256; outbuf = ""; waiting = [] }
-                :: !conns
+                :: !conns;
+              Log.debug "conn.accept" [ ("open", Log.I (List.length !conns)) ]
           | exception Unix.Unix_error _ -> ()
         end
   done;
+  if t.stopping then Log.info "daemon.stopping" [];
   (* Drain in-flight work, then pay every debt: deferred results first,
      then any bytes still queued, then the store. *)
   Jobq.drain t.q;
@@ -492,6 +724,7 @@ let run_socket ~path ?jobs ?store_path ?stamp ?trace () =
   Unix.close wake_r;
   Unix.close wake_w;
   restore_signals ();
+  Log.info "daemon.exit" [];
   Option.iter
     (fun path ->
       Hca_obs.Obs.Trace.write ~meta:[ ("source", "hca serve") ] path;

@@ -15,13 +15,25 @@ type totals = {
   cache_misses : int;
 }
 
+type event =
+  | Submitted of { id : int; label : string; priority : int }
+  | Started of { id : int; label : string; wait_s : float }
+  | Done of {
+      id : int;
+      label : string;
+      outcome : outcome;
+      latency_s : float;
+      run_s : float;
+    }
+  | Cancelled_job of { id : int; label : string; latency_s : float }
+
 type job = {
   id : int;
   label : string;
   priority : int;
   deadline_s : float option;
   submitted_s : float;
-  work : deadline_s:float option -> Hca_core.Report.t;
+  work : id:int -> deadline_s:float option -> Hca_core.Report.t;
   mutable jstate : state;
 }
 
@@ -35,6 +47,7 @@ type t = {
   mutable tot : totals;
   pool : Hca_util.Domain_pool.t option;
   on_finish : (unit -> unit) option;
+  on_event : (event -> unit) option;
 }
 
 let zero_totals =
@@ -48,7 +61,7 @@ let zero_totals =
     cache_misses = 0;
   }
 
-let create ?pool ?on_finish () =
+let create ?pool ?on_finish ?on_event () =
   {
     mutex = Mutex.create ();
     done_cond = Condition.create ();
@@ -59,11 +72,19 @@ let create ?pool ?on_finish () =
     tot = zero_totals;
     pool;
     on_finish;
+    on_event;
   }
 
 let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Observers run outside the queue lock, on whichever domain caused
+   the transition; a raising observer must never take the queue down. *)
+let emit t ev =
+  match t.on_event with
+  | None -> ()
+  | Some f -> ( try f ev with _ -> ())
 
 (* Highest priority wins; FIFO (lowest id) within a priority. *)
 let better a b =
@@ -116,17 +137,44 @@ let pump t =
   | None -> false
   | Some (job, _) when job.jstate <> Running ->
       (* Expired while queued: terminal already; still poke waiters. *)
+      emit t
+        (Done
+           {
+             id = job.id;
+             label = job.label;
+             outcome = Expired;
+             latency_s = Hca_util.Clock.now () -. job.submitted_s;
+             run_s = 0.;
+           });
       Option.iter (fun f -> f ()) t.on_finish;
       true
   | Some (job, remaining) ->
+      let started_s = Hca_util.Clock.now () in
+      emit t
+        (Started
+           {
+             id = job.id;
+             label = job.label;
+             wait_s = started_s -. job.submitted_s;
+           });
       let outcome =
-        match job.work ~deadline_s:remaining with
+        match job.work ~id:job.id ~deadline_s:remaining with
         | r -> Solved r
         | exception e -> Crashed (Printexc.to_string e)
       in
       (locked t @@ fun () ->
        t.n_running <- t.n_running - 1;
        finish_locked t job outcome);
+      let now = Hca_util.Clock.now () in
+      emit t
+        (Done
+           {
+             id = job.id;
+             label = job.label;
+             outcome;
+             latency_s = now -. job.submitted_s;
+             run_s = now -. started_s;
+           });
       Option.iter (fun f -> f ()) t.on_finish;
       true
 
@@ -151,6 +199,7 @@ let submit t ~label ?(priority = 0) ?deadline_s work =
     t.tot <- { t.tot with submitted = t.tot.submitted + 1 };
     (job, t.pool)
   in
+  emit t (Submitted { id = job.id; label; priority });
   Option.iter
     (fun pool -> Hca_util.Domain_pool.submit pool (fun () -> ignore (pump t)))
     pool;
@@ -169,7 +218,7 @@ let cancel t id =
   let poke, r =
     locked t @@ fun () ->
     match Hashtbl.find_opt t.jobs id with
-    | None -> (false, Error (Printf.sprintf "unknown job %d" id))
+    | None -> (None, Error (Printf.sprintf "unknown job %d" id))
     | Some job -> (
         match job.jstate with
         | Queued ->
@@ -177,12 +226,22 @@ let cancel t id =
             job.jstate <- Cancelled;
             t.tot <- { t.tot with cancelled = t.tot.cancelled + 1 };
             Condition.broadcast t.done_cond;
-            (true, Ok ())
-        | Running -> (false, Error (Printf.sprintf "job %d is already running" id))
-        | Finished _ -> (false, Error (Printf.sprintf "job %d already finished" id))
-        | Cancelled -> (false, Error (Printf.sprintf "job %d already cancelled" id)))
+            (Some job, Ok ())
+        | Running -> (None, Error (Printf.sprintf "job %d is already running" id))
+        | Finished _ -> (None, Error (Printf.sprintf "job %d already finished" id))
+        | Cancelled -> (None, Error (Printf.sprintf "job %d already cancelled" id)))
   in
-  if poke then Option.iter (fun f -> f ()) t.on_finish;
+  Option.iter
+    (fun job ->
+      emit t
+        (Cancelled_job
+           {
+             id = job.id;
+             label = job.label;
+             latency_s = Hca_util.Clock.now () -. job.submitted_s;
+           });
+      Option.iter (fun f -> f ()) t.on_finish)
+    poke;
   r
 
 let terminal = function

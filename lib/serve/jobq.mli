@@ -38,25 +38,53 @@ type totals = {
   cache_misses : int;
 }
 
+(** Lifecycle notifications for observers (telemetry, logging).
+    Delivered outside the queue lock, on the domain that caused the
+    transition: [Submitted] on the submitter, [Started]/[Done] on the
+    running worker (or the pumping caller), [Cancelled_job] on the
+    canceller.  A raising observer is swallowed — telemetry must never
+    take the queue down. *)
+type event =
+  | Submitted of { id : int; label : string; priority : int }
+  | Started of { id : int; label : string; wait_s : float }
+      (** [wait_s]: time spent queued before the work ran *)
+  | Done of {
+      id : int;
+      label : string;
+      outcome : outcome;
+      latency_s : float;  (** submission → terminal, queue wait included *)
+      run_s : float;  (** solver wall-clock alone; 0 for queue expiry *)
+    }
+  | Cancelled_job of { id : int; label : string; latency_s : float }
+
 type t
 
 val create :
-  ?pool:Hca_util.Domain_pool.t -> ?on_finish:(unit -> unit) -> unit -> t
+  ?pool:Hca_util.Domain_pool.t ->
+  ?on_finish:(unit -> unit) ->
+  ?on_event:(event -> unit) ->
+  unit ->
+  t
 (** [pool] must be dedicated ({!Hca_util.Domain_pool.create}
     [~dedicated:true]) — the queue only feeds it via [submit].
     [on_finish] fires after every job reaches a terminal state, from
     the finishing worker's domain and outside the queue lock — the
-    socket transport pokes its wake-up pipe here. *)
+    socket transport pokes its wake-up pipe here.  [on_event] receives
+    every {!event} (also outside the lock); [Done] fires before
+    [on_finish], so a blocked waiter never observes a terminal job
+    whose telemetry has not landed yet. *)
 
 val submit :
   t ->
   label:string ->
   ?priority:int ->
   ?deadline_s:float ->
-  (deadline_s:float option -> Hca_core.Report.t) ->
+  (id:int -> deadline_s:float option -> Hca_core.Report.t) ->
   int
 (** Enqueue one job; returns its id (dense from 0).  The work closure
-    receives the budget {e remaining} at start time. *)
+    receives its own job id (so request-scoped telemetry can name
+    files before [submit] returns) and the budget {e remaining} at
+    start time. *)
 
 val state : t -> int -> state option
 (** [None] for an id never issued. *)

@@ -1,10 +1,13 @@
 module Report = Hca_core.Report
+module Registry = Hca_obs.Obs.Registry
 
 type summary = {
   count : int;
   ok : int;
   failed : int;
   deadline_exceeded : int;
+  errors : int;
+  timeouts : int;
   cache_hits : int;
   cache_misses : int;
   cache_entries : int;
@@ -14,6 +17,10 @@ type summary = {
   p50_ms : float;
   p95_ms : float;
   p99_ms : float;
+  submit_p50_ms : float;
+  submit_p95_ms : float;
+  result_p50_ms : float;
+  result_p95_ms : float;
   verified : int;
   verify_mismatches : int;
 }
@@ -63,6 +70,27 @@ let rpc conn line =
             (Option.value ~default:reply
                (Option.bind (Json.member "error" j) Json.str)))
 
+(* Per-verb RPC latency lands in the live registry — client workers run
+   on pool domains, so these observations also exercise the registry's
+   cross-domain merge for real. *)
+let timed_rpc verb conn line =
+  let t0 = Hca_util.Clock.now () in
+  let j = rpc conn line in
+  Registry.observe
+    (Printf.sprintf "hca_client_rpc_ms{verb=%S}" verb)
+    ((Hca_util.Clock.now () -. t0) *. 1000.);
+  j
+
+(* One request over a throwaway connection: what [hca top] polls with. *)
+let rpc_once ~path line =
+  match
+    let conn = connect path in
+    Fun.protect ~finally:(fun () -> close conn) (fun () -> rpc conn line)
+  with
+  | j -> Ok j
+  | exception Client_error e -> Error e
+  | exception Sys_error e -> Error e
+
 let jint j k =
   match Option.bind (Json.member k j) Json.int with
   | Some v -> v
@@ -108,14 +136,14 @@ let worker ~path ~max_size ~deadline_s seeds =
         List.map
           (fun seed ->
             let t0 = Hca_util.Clock.now () in
-            let j = rpc conn (submit_line ~max_size ~deadline_s seed) in
+            let j = timed_rpc "submit" conn (submit_line ~max_size ~deadline_s seed) in
             (seed, jint j "id", t0))
           seeds
       in
       List.map
         (fun (seed, id, t0) ->
           let j =
-            rpc conn
+            timed_rpc "result" conn
               (Json.to_string
                  (Json.Obj
                     [
@@ -125,10 +153,15 @@ let worker ~path ~max_size ~deadline_s seeds =
                     ]))
           in
           let latency_s = Hca_util.Clock.now () -. t0 in
+          let state = jstr j "state" in
+          (match state with
+          | "deadline_exceeded" -> Registry.inc "hca_client_timeouts_total"
+          | "failed" | "cancelled" -> Registry.inc "hca_client_errors_total"
+          | _ -> ());
           {
             seed;
             kernel = (try jstr j "kernel" with Client_error _ -> "?");
-            state = jstr j "state";
+            state;
             legal =
               Option.value ~default:false
                 (Option.bind (Json.member "legal" j) Json.bool);
@@ -158,6 +191,36 @@ let verify_served ~max_size served =
         Report.run ~jobs:1 Hca_machine.Dspfabric.reference ddg
       in
       Some (Report.invariant_string local = remote)
+
+(* The loadtest may share its process with earlier registry traffic
+   (tests, repeated runs), so per-run figures are deltas between two
+   snapshots, never absolutes. *)
+let counter_delta before after name =
+  let get s =
+    Option.value ~default:0 (List.assoc_opt name s.Registry.counters)
+  in
+  get after - get before
+
+let hist_delta before after name =
+  match List.assoc_opt name after.Registry.hists with
+  | None -> None
+  | Some a -> (
+      match List.assoc_opt name before.Registry.hists with
+      | None -> Some a
+      | Some b ->
+          Some
+            {
+              a with
+              Registry.buckets =
+                Array.mapi (fun i v -> v - b.Registry.buckets.(i)) a.Registry.buckets;
+              count = a.Registry.count - b.Registry.count;
+              sum = a.Registry.sum -. b.Registry.sum;
+            })
+
+let delta_quantile before after name q =
+  match hist_delta before after name with
+  | Some hv when hv.Registry.count > 0 -> Registry.quantile hv q
+  | _ -> 0.
 
 let emit_rows path served agg_fields =
   let oc = open_out path in
@@ -190,6 +253,7 @@ let run ~path ?(count = 25) ?(jobs = 2) ?(seed0 = 1) ?max_size ?deadline_s
         (fun () -> rpc conn {|{"verb":"stats"}|})
     in
     let before = stats () in
+    let reg_before = Registry.snapshot () in
     let t0 = Hca_util.Clock.now () in
     let served =
       Hca_util.Domain_pool.parallel_map ~jobs
@@ -199,7 +263,13 @@ let run ~path ?(count = 25) ?(jobs = 2) ?(seed0 = 1) ?max_size ?deadline_s
       |> List.sort (fun a b -> compare a.seed b.seed)
     in
     let elapsed_s = Hca_util.Clock.now () -. t0 in
+    let reg_after = Registry.snapshot () in
     let after = stats () in
+    let rpc_q verb q =
+      delta_quantile reg_before reg_after
+        (Printf.sprintf "hca_client_rpc_ms{verb=%S}" verb)
+        q
+    in
     (* The latency histogram goes through lib/obs so the daemon's own
        percentile machinery is what reports the tails. *)
     Hca_obs.Obs.enable ();
@@ -233,6 +303,9 @@ let run ~path ?(count = 25) ?(jobs = 2) ?(seed0 = 1) ?max_size ?deadline_s
         ok = n_state "done";
         failed = n_state "failed" + n_state "cancelled";
         deadline_exceeded = n_state "deadline_exceeded";
+        errors = counter_delta reg_before reg_after "hca_client_errors_total";
+        timeouts =
+          counter_delta reg_before reg_after "hca_client_timeouts_total";
         cache_hits = delta "cache_hits";
         cache_misses = delta "cache_misses";
         cache_entries = jint after "cache_entries";
@@ -243,6 +316,10 @@ let run ~path ?(count = 25) ?(jobs = 2) ?(seed0 = 1) ?max_size ?deadline_s
         p50_ms = p50;
         p95_ms = p95;
         p99_ms = p99;
+        submit_p50_ms = rpc_q "submit" 0.5;
+        submit_p95_ms = rpc_q "submit" 0.95;
+        result_p50_ms = rpc_q "result" 0.5;
+        result_p95_ms = rpc_q "result" 0.95;
         verified;
         verify_mismatches;
       }
@@ -260,6 +337,12 @@ let run ~path ?(count = 25) ?(jobs = 2) ?(seed0 = 1) ?max_size ?deadline_s
             ("p50_ms", Printf.sprintf "%.3f" s.p50_ms);
             ("p95_ms", Printf.sprintf "%.3f" s.p95_ms);
             ("p99_ms", Printf.sprintf "%.3f" s.p99_ms);
+            ("submit_p50_ms", Printf.sprintf "%.3f" s.submit_p50_ms);
+            ("submit_p95_ms", Printf.sprintf "%.3f" s.submit_p95_ms);
+            ("result_p50_ms", Printf.sprintf "%.3f" s.result_p50_ms);
+            ("result_p95_ms", Printf.sprintf "%.3f" s.result_p95_ms);
+            ("errors", string_of_int s.errors);
+            ("timeouts", string_of_int s.timeouts);
             ("cache_hits", string_of_int s.cache_hits);
             ("cache_misses", string_of_int s.cache_misses);
             ("cache_entries", string_of_int s.cache_entries);
@@ -280,6 +363,11 @@ let print_summary s =
     s.failed s.deadline_exceeded;
   Printf.printf "  latency ms: p50 %.1f  p95 %.1f  p99 %.1f\n" s.p50_ms
     s.p95_ms s.p99_ms;
+  Printf.printf
+    "  rpc ms: submit p50 %.1f p95 %.1f | result p50 %.1f p95 %.1f | errors \
+     %d, timeouts %d\n"
+    s.submit_p50_ms s.submit_p95_ms s.result_p50_ms s.result_p95_ms s.errors
+    s.timeouts;
   Printf.printf
     "  cache: +%d hits / +%d misses this run; %d entries (%d loaded at start)\n"
     s.cache_hits s.cache_misses s.cache_entries s.loaded_entries;

@@ -24,18 +24,34 @@ type summary = {
   ok : int;  (** state ["done"] *)
   failed : int;
   deadline_exceeded : int;
+  errors : int;
+      (** failed/cancelled results, counted through the client-side
+          {!Hca_obs.Obs.Registry} ([hca_client_errors_total] delta) *)
+  timeouts : int;  (** deadline-exceeded results, same accounting *)
   cache_hits : int;  (** daemon-side delta across this run *)
   cache_misses : int;
   cache_entries : int;  (** store size after the run *)
   loaded_entries : int;  (** what the daemon inherited at startup *)
   elapsed_s : float;
   throughput_rps : float;
-  p50_ms : float;
+  p50_ms : float;  (** end-to-end submit → result, queue wait included *)
   p95_ms : float;
   p99_ms : float;
+  submit_p50_ms : float;
+      (** per-verb wire round-trip quantiles, estimated from the
+          [hca_client_rpc_ms{verb=...}] registry histograms (deltas
+          across this run) *)
+  submit_p95_ms : float;
+  result_p50_ms : float;  (** includes the server-side wait for jobs *)
+  result_p95_ms : float;
   verified : int;  (** local re-runs compared (0 without [verify]) *)
   verify_mismatches : int;
 }
+
+val rpc_once : path:string -> string -> (Json.t, string) result
+(** One request line over a throwaway connection: connect, send,
+    parse the one-line reply (an [{"ok":false}] reply or any transport
+    failure is [Error]).  What the [hca top] dashboard polls with. *)
 
 val run :
   path:string ->

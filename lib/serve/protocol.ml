@@ -13,7 +13,10 @@ type submit = {
   priority : int;
   deadline_s : float option;
   memo : bool;
+  trace : bool;
 }
+
+type metrics_format = Json_metrics | Prometheus
 
 type request =
   | Submit of submit
@@ -21,6 +24,7 @@ type request =
   | Result of { id : int; wait : bool }
   | Cancel of int
   | Stats
+  | Metrics of metrics_format
   | Ping
   | Shutdown
 
@@ -85,6 +89,7 @@ let submit_of j =
          priority = Option.value ~default:0 (field_int j "priority");
          deadline_s;
          memo = Option.value ~default:true (field_bool j "memo");
+         trace = Option.value ~default:false (field_bool j "trace");
        })
 
 let request_of_line line =
@@ -105,6 +110,14 @@ let request_of_line line =
       let* id = required_id j in
       Ok (Cancel id)
   | Some "stats" -> Ok Stats
+  | Some "metrics" -> (
+      match Option.bind (Json.member "format" j) Json.str with
+      | None | Some "json" -> Ok (Metrics Json_metrics)
+      | Some "prometheus" -> Ok (Metrics Prometheus)
+      | Some f ->
+          Error
+            (Printf.sprintf
+               "unknown metrics format %S (want \"json\" or \"prometheus\")" f))
   | Some "ping" -> Ok Ping
   | Some "shutdown" -> Ok Shutdown
   | Some v -> Error (Printf.sprintf "unknown verb %S" v)

@@ -190,6 +190,224 @@ let test_chrome_trace_rejects_garbage () =
   | Ok _ -> Alcotest.fail "unbalanced E accepted"
   | Error _ -> ()
 
+(* ------------------------------------------------------------------ *)
+(* Structured logging: every emitted line is flat JSON, the level      *)
+(* threshold filters, fields and escapes survive the round-trip.       *)
+(* ------------------------------------------------------------------ *)
+
+let tmp_file name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "hca_obs_%s_%d" name (Unix.getpid ()))
+
+let read_lines path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !lines
+
+let parse_json line =
+  match Hca_serve.Json.parse line with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "log line is not JSON %S: %s" line e
+
+let jfield j k = Hca_serve.Json.member k j
+
+let jstr j k = Option.bind (jfield j k) Hca_serve.Json.str
+
+let test_log_json_and_level_filter () =
+  let path = tmp_file "log" in
+  if Sys.file_exists path then Sys.remove path;
+  Obs.Log.to_file path;
+  Obs.Log.set_level Obs.Log.Warn;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Log.off ();
+      Obs.Log.set_level Obs.Log.Info)
+    (fun () ->
+      Alcotest.(check bool) "below threshold inactive" false
+        (Obs.Log.active Obs.Log.Info);
+      Alcotest.(check bool) "at threshold active" true
+        (Obs.Log.active Obs.Log.Warn);
+      Obs.Log.debug "drop.debug" [];
+      Obs.Log.info "drop.info" [ ("x", Obs.Log.I 1) ];
+      Obs.Log.warn ~req:7 "keep.warn"
+        [
+          ("s", Obs.Log.S "v");
+          ("i", Obs.Log.I 42);
+          ("f", Obs.Log.F 1.5);
+          ("b", Obs.Log.B true);
+        ];
+      Obs.Log.error "keep.error" [ ("why", Obs.Log.S "boom \"quoted\"\n") ]);
+  let lines = read_lines path in
+  Sys.remove path;
+  Alcotest.(check int) "below-threshold lines dropped" 2 (List.length lines);
+  let w = parse_json (List.nth lines 0) in
+  let e = parse_json (List.nth lines 1) in
+  Alcotest.(check (option string)) "level name" (Some "warn") (jstr w "level");
+  Alcotest.(check (option string)) "event name" (Some "keep.warn")
+    (jstr w "event");
+  Alcotest.(check (option int)) "request id" (Some 7)
+    (Option.bind (jfield w "req") Hca_serve.Json.int);
+  Alcotest.(check (option string)) "string field" (Some "v") (jstr w "s");
+  Alcotest.(check (option int)) "int field" (Some 42)
+    (Option.bind (jfield w "i") Hca_serve.Json.int);
+  Alcotest.(check (option bool)) "bool field" (Some true)
+    (Option.bind (jfield w "b") Hca_serve.Json.bool);
+  Alcotest.(check (option (float 1e-9))) "float field" (Some 1.5)
+    (Option.bind (jfield w "f") Hca_serve.Json.num);
+  Alcotest.(check (option string)) "error level" (Some "error")
+    (jstr e "level");
+  Alcotest.(check (option string)) "escapes survive the round-trip"
+    (Some "boom \"quoted\"\n") (jstr e "why");
+  let ts j = Option.get (Option.bind (jfield j "ts") Hca_serve.Json.num) in
+  Alcotest.(check bool) "timestamps monotone" true (ts e >= ts w);
+  Alcotest.(check bool) "level_of_string" true
+    (Obs.Log.level_of_string "warning" = Some Obs.Log.Warn
+    && Obs.Log.level_of_string "debug" = Some Obs.Log.Debug
+    && Obs.Log.level_of_string "frobnicate" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Registry: cross-domain counter merge, quantile estimation, and      *)
+(* both exposition formats.                                            *)
+(* ------------------------------------------------------------------ *)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_registry_cross_domain_merge () =
+  Obs.Registry.clear ();
+  Fun.protect ~finally:Obs.Registry.clear (fun () ->
+      ignore
+        (Hca_util.Domain_pool.parallel_map ~jobs:4
+           (fun i ->
+             Obs.Registry.inc ~by:i "r_total";
+             i)
+           (List.init 100 Fun.id));
+      Alcotest.(check int) "total independent of domain placement" 4950
+        (Obs.Registry.counter "r_total");
+      Obs.Registry.inc "r_total";
+      Alcotest.(check int) "default increment is 1" 4951
+        (Obs.Registry.counter "r_total");
+      Alcotest.(check int) "absent counter reads 0" 0
+        (Obs.Registry.counter "nope");
+      (* A name keeps its first kind: telemetry misuse is ignored, not
+         an exception in the serving path. *)
+      Obs.Registry.set "r_total" 0.;
+      Alcotest.(check int) "kind mismatch ignored" 4951
+        (Obs.Registry.counter "r_total"))
+
+let test_registry_quantile_and_exposition () =
+  Obs.Registry.clear ();
+  Fun.protect ~finally:Obs.Registry.clear (fun () ->
+      let buckets = [| 10.; 20.; 30.; 40.; 50.; 60.; 70.; 80.; 90.; 100. |] in
+      List.iter
+        (fun i -> Obs.Registry.observe ~buckets "r_lat_ms" (float_of_int (i + 1)))
+        (List.init 100 Fun.id);
+      Obs.Registry.set "r_depth" 3.;
+      Obs.Registry.inc ~by:5 {|r_hits{verb="submit"}|};
+      let snap = Obs.Registry.snapshot () in
+      (match List.assoc_opt "r_lat_ms" snap.Obs.Registry.hists with
+      | None -> Alcotest.fail "histogram missing from snapshot"
+      | Some hv ->
+          Alcotest.(check int) "sample count" 100 hv.Obs.Registry.count;
+          Alcotest.(check (float 1e-6)) "sum" 5050. hv.Obs.Registry.sum;
+          let p50 = Obs.Registry.quantile hv 0.5 in
+          let p99 = Obs.Registry.quantile hv 0.99 in
+          Alcotest.(check bool) "p50 within its bucket" true
+            (p50 >= 40. && p50 <= 60.);
+          Alcotest.(check bool) "p99 in the upper tail" true (p99 >= 90.);
+          Alcotest.(check bool) "quantiles ordered" true (p99 >= p50));
+      Alcotest.(check (option (float 1e-9))) "gauge readable" (Some 3.)
+        (List.assoc_opt "r_depth" snap.Obs.Registry.gauges);
+      (* Prometheus text: typed base names, labelled series kept intact,
+         every sample line ends in a parseable value. *)
+      let text = Obs.Registry.to_prometheus () in
+      Alcotest.(check bool) "counter TYPE line" true
+        (contains ~sub:"# TYPE r_hits counter" text);
+      Alcotest.(check bool) "labelled series" true
+        (contains ~sub:{|r_hits{verb="submit"} 5|} text);
+      Alcotest.(check bool) "cumulative buckets" true
+        (contains ~sub:{|r_lat_ms_bucket{le="+Inf"} 100|} text);
+      Alcotest.(check bool) "histogram count series" true
+        (contains ~sub:"r_lat_ms_count 100" text);
+      List.iter
+        (fun line ->
+          if line <> "" && line.[0] <> '#' then
+            match String.rindex_opt line ' ' with
+            | None -> Alcotest.failf "no sample value on %S" line
+            | Some i ->
+                let v = String.sub line (i + 1) (String.length line - i - 1) in
+                if float_of_string_opt v = None then
+                  Alcotest.failf "unparseable sample on %S" line)
+        (String.split_on_char '\n' text);
+      (* JSON exposition parses and carries the same figures. *)
+      match Hca_serve.Json.parse (Obs.Registry.to_json_string ()) with
+      | Error e -> Alcotest.failf "metrics JSON does not parse: %s" e
+      | Ok j ->
+          let counters = Option.get (jfield j "counters") in
+          Alcotest.(check (option int)) "counter in JSON" (Some 5)
+            (Option.bind
+               (Hca_serve.Json.member {|r_hits{verb="submit"}|} counters)
+               Hca_serve.Json.int);
+          let hists = Option.get (jfield j "histograms") in
+          let h = Option.get (Hca_serve.Json.member "r_lat_ms" hists) in
+          Alcotest.(check (option int)) "histogram count in JSON" (Some 100)
+            (Option.bind (jfield h "count") Hca_serve.Json.int))
+
+(* ------------------------------------------------------------------ *)
+(* Flight ring: bounded, always dumps a valid trace even after heavy   *)
+(* overwrite, and per-request captures export standalone traces.       *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_dump_bounded_and_valid () =
+  Obs.Ring.arm ~capacity:64 ();
+  Fun.protect ~finally:Obs.Ring.disarm (fun () ->
+      Alcotest.(check bool) "armed" true (Obs.Ring.armed ());
+      Alcotest.(check int) "capacity" 64 (Obs.Ring.capacity ());
+      (* Overflow the ring many times over: overwritten Begins must not
+         leave orphan Ends in the dump. *)
+      for i = 0 to 199 do
+        Obs.span "work"
+          ~args:[ ("i", string_of_int i) ]
+          (fun () -> Obs.instant "tick")
+      done;
+      let path = tmp_file "ring.json" in
+      Obs.Ring.write ~meta:[ ("origin", "test_obs") ] path;
+      (match Trace_check.validate_file path with
+      | Error e -> Alcotest.failf "ring dump invalid: %s" e
+      | Ok stats ->
+          Alcotest.(check bool) "kept recent events" true
+            (stats.Trace_check.events > 0);
+          Alcotest.(check bool) "bounded by ring capacity" true
+            (stats.Trace_check.events <= Obs.Ring.capacity () + 16));
+      Sys.remove path)
+
+let test_capture_standalone_trace () =
+  Obs.Capture.start ();
+  Alcotest.(check bool) "capture active" true (Obs.Capture.active ());
+  Obs.span "request.work" (fun () -> Obs.instant "step");
+  let evs = Obs.Capture.stop () in
+  Alcotest.(check bool) "capture stopped" false (Obs.Capture.active ());
+  Alcotest.(check bool) "events captured" true (List.length evs >= 3);
+  let path = tmp_file "capture.json" in
+  Obs.Capture.write ~meta:[ ("request", "42") ] path evs;
+  (match Trace_check.validate_file path with
+  | Error e -> Alcotest.failf "capture trace invalid: %s" e
+  | Ok stats -> (
+      match List.assoc_opt "request.work" stats.Trace_check.span_names with
+      | Some n when n > 0 -> ()
+      | _ -> Alcotest.fail "captured span missing"));
+  Sys.remove path;
+  Alcotest.(check (list (pair int string))) "stop with no capture is empty" []
+    (List.map (fun (e : Obs.event) -> (0, e.Obs.name)) (Obs.Capture.stop ()))
+
 let () =
   Alcotest.run "obs"
     [
@@ -217,5 +435,24 @@ let () =
           Alcotest.test_case "export validates" `Quick test_chrome_trace_valid;
           Alcotest.test_case "checker rejects garbage" `Quick
             test_chrome_trace_rejects_garbage;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "JSON lines + level filter" `Quick
+            test_log_json_and_level_filter;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "cross-domain counter merge" `Quick
+            test_registry_cross_domain_merge;
+          Alcotest.test_case "quantile + exposition" `Quick
+            test_registry_quantile_and_exposition;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "ring dump bounded and valid" `Quick
+            test_ring_dump_bounded_and_valid;
+          Alcotest.test_case "capture standalone trace" `Quick
+            test_capture_standalone_trace;
         ] );
     ]

@@ -129,7 +129,7 @@ let quick_report () =
 let test_jobq_priority_order () =
   let q = Jobq.create () in
   let order = ref [] in
-  let mk tag = fun ~deadline_s:_ ->
+  let mk tag = fun ~id:_ ~deadline_s:_ ->
     order := tag :: !order;
     quick_report ()
   in
@@ -152,7 +152,7 @@ let test_jobq_cancel_and_expiry () =
   let q = Jobq.create () in
   let ran = ref false in
   let id =
-    Jobq.submit q ~label:"x" (fun ~deadline_s:_ ->
+    Jobq.submit q ~label:"x" (fun ~id:_ ~deadline_s:_ ->
         ran := true;
         quick_report ())
   in
@@ -168,7 +168,7 @@ let test_jobq_cancel_and_expiry () =
   Alcotest.(check bool) "cancelled job left the queue" false (Jobq.pump q);
   (* A zero deadline expires while queued: the work closure never runs. *)
   let id2 =
-    Jobq.submit q ~label:"y" ~deadline_s:0. (fun ~deadline_s:_ ->
+    Jobq.submit q ~label:"y" ~deadline_s:0. (fun ~id:_ ~deadline_s:_ ->
         ran := true;
         quick_report ())
   in
@@ -185,7 +185,7 @@ let test_jobq_cancel_and_expiry () =
 let test_jobq_crash_isolated () =
   let q = Jobq.create () in
   let id =
-    Jobq.submit q ~label:"boom" (fun ~deadline_s:_ -> failwith "kaboom")
+    Jobq.submit q ~label:"boom" (fun ~id:_ ~deadline_s:_ -> failwith "kaboom")
   in
   ignore (Jobq.pump q);
   match Jobq.state q id with
@@ -415,6 +415,199 @@ let test_store_corrupt_and_missing () =
   Sys.remove path
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry: the metrics verb, per-request traces, the flight         *)
+(* recorder, and the extended stats fields.  The registry and the      *)
+(* flight ring are process-global, so every test here clears / disarms *)
+(* what it armed.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Obs = Hca_obs.Obs
+
+let with_clean_registry f =
+  Obs.Registry.clear ();
+  Fun.protect ~finally:Obs.Registry.clear f
+
+let tmp_dir name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "hca_test_%s_%d" name (Unix.getpid ()))
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let jnum j k = Option.get (Option.bind (Json.member k j) Json.num)
+
+let test_metrics_verb_roundtrip () =
+  with_clean_registry (fun () ->
+      let t = Daemon.create () in
+      ignore (run_one t {|{"verb":"submit","kernel":"fir2dim"}|});
+      (* JSON exposition: the daemon's own counters and latency
+         histogram come back through the protocol parser, so the
+         round-trip also proves Registry.to_json_string is valid
+         JSON. *)
+      let j =
+        ok_json (line_of (Daemon.handle_line t {|{"verb":"metrics"}|}))
+      in
+      let m = Option.get (Json.member "metrics" j) in
+      let counters = Option.get (Json.member "counters" m) in
+      let cnt k = Option.bind (Json.member k counters) Json.int in
+      Alcotest.(check (option int)) "submissions counted" (Some 1)
+        (cnt "hca_jobs_submitted_total");
+      Alcotest.(check (option int)) "solved outcome counted" (Some 1)
+        (cnt {|hca_jobs_done_total{outcome="solved"}|});
+      Alcotest.(check (option int)) "per-verb request counter" (Some 1)
+        (cnt {|hca_requests_total{verb="submit"}|});
+      let hists = Option.get (Json.member "histograms" m) in
+      (match Json.member "hca_request_latency_ms" hists with
+      | Some h ->
+          Alcotest.(check (option int)) "latency samples" (Some 1)
+            (Option.bind (Json.member "count" h) Json.int)
+      | None -> Alcotest.fail "latency histogram missing");
+      (* Prometheus exposition: typed, and every sample line parses. *)
+      let p =
+        ok_json
+          (line_of
+             (Daemon.handle_line t {|{"verb":"metrics","format":"prometheus"}|}))
+      in
+      Alcotest.(check string) "format tag" "prometheus" (jstr p "format");
+      let text = jstr p "prometheus" in
+      Alcotest.(check bool) "TYPE lines present" true
+        (contains ~sub:"# TYPE hca_jobs_submitted_total counter" text);
+      Alcotest.(check bool) "histogram series present" true
+        (contains ~sub:"hca_request_latency_ms_bucket{le=" text);
+      List.iter
+        (fun line ->
+          if line <> "" && line.[0] <> '#' then
+            match String.rindex_opt line ' ' with
+            | None -> Alcotest.failf "no sample value on %S" line
+            | Some i ->
+                let v =
+                  String.sub line (i + 1) (String.length line - i - 1)
+                in
+                if float_of_string_opt v = None then
+                  Alcotest.failf "unparseable sample on %S" line)
+        (String.split_on_char '\n' text))
+
+let test_trace_request_and_bit_equal () =
+  with_clean_registry (fun () ->
+      let tel =
+        { Daemon.default_telemetry with Daemon.trace_dir = tmp_dir "traces" }
+      in
+      let t = Daemon.create ~telemetry:tel () in
+      let j =
+        ok_json
+          (line_of
+             (Daemon.handle_line t
+                {|{"verb":"submit","kernel":"fir2dim","trace":true}|}))
+      in
+      let id = jint j "id" in
+      ignore (Jobq.wait (Daemon.jobq t) id);
+      let traced = ok_json (Daemon.result_line t id) in
+      let file = Daemon.trace_file t id in
+      Alcotest.(check bool) "trace file written" true (Sys.file_exists file);
+      (match Hca_obs.Trace_check.validate_file file with
+      | Error e -> Alcotest.failf "invalid request trace: %s" e
+      | Ok stats ->
+          Alcotest.(check bool) "capture has events" true
+            (stats.Hca_obs.Trace_check.events > 0);
+          (* The capture wraps the whole work closure, so the search's
+             own top-level span must be inside. *)
+          match
+            List.assoc_opt "report.run" stats.Hca_obs.Trace_check.span_names
+          with
+          | Some n when n > 0 -> ()
+          | _ -> Alcotest.fail "report.run span missing from request trace");
+      Alcotest.(check int) "trace file counted" 1
+        (Obs.Registry.counter "hca_trace_files_total");
+      Sys.remove file;
+      (* The identical submission with telemetry entirely off answers
+         bit-identically: recording never influences the search. *)
+      let plain = Daemon.create () in
+      let untraced = run_one plain {|{"verb":"submit","kernel":"fir2dim"}|} in
+      Alcotest.(check string) "traced vs untraced bit-equal"
+        (jstr untraced "invariant") (jstr traced "invariant"))
+
+let test_flight_dump_on_crash () =
+  with_clean_registry (fun () ->
+      let dir = tmp_dir "flight" in
+      let tel =
+        {
+          Daemon.default_telemetry with
+          Daemon.trace_dir = dir;
+          flight = true;
+          flight_capacity = 256;
+        }
+      in
+      let t = Daemon.create ~telemetry:tel () in
+      Fun.protect ~finally:Obs.Ring.disarm (fun () ->
+          Alcotest.(check bool) "create armed the ring" true (Obs.Ring.armed ());
+          let id =
+            Daemon.inject t ~label:"boom" (fun ~deadline_s:_ ->
+                failwith "kaboom")
+          in
+          ignore (Jobq.wait (Daemon.jobq t) id);
+          (match Jobq.state (Daemon.jobq t) id with
+          | Some (Jobq.Finished (Jobq.Crashed _)) -> ()
+          | _ -> Alcotest.fail "expected a crash");
+          let file =
+            Filename.concat dir (Printf.sprintf "flight-%d.json" id)
+          in
+          Alcotest.(check bool) "flight dump written" true
+            (Sys.file_exists file);
+          (match Hca_obs.Trace_check.validate_file file with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "invalid flight dump: %s" e);
+          Alcotest.(check int) "dump counted" 1
+            (Obs.Registry.counter "hca_flight_dumps_total");
+          Sys.remove file))
+
+let test_flight_dump_on_slow () =
+  with_clean_registry (fun () ->
+      let dir = tmp_dir "slow" in
+      let tel =
+        {
+          Daemon.default_telemetry with
+          Daemon.trace_dir = dir;
+          flight = true;
+          slow_ms = Some 0.;
+        }
+      in
+      let t = Daemon.create ~telemetry:tel () in
+      Fun.protect ~finally:Obs.Ring.disarm (fun () ->
+          (* Any successful job has positive latency, so slow_ms = 0
+             trips the dump without needing an actually slow kernel. *)
+          let id =
+            Daemon.inject t ~label:"slow" (fun ~deadline_s:_ ->
+                quick_report ())
+          in
+          ignore (Jobq.wait (Daemon.jobq t) id);
+          (match Jobq.state (Daemon.jobq t) id with
+          | Some (Jobq.Finished (Jobq.Solved _)) -> ()
+          | _ -> Alcotest.fail "slow job should still solve");
+          let file =
+            Filename.concat dir (Printf.sprintf "flight-%d.json" id)
+          in
+          Alcotest.(check bool) "slow-ms tripped a dump" true
+            (Sys.file_exists file);
+          (match Hca_obs.Trace_check.validate_file file with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "invalid flight dump: %s" e);
+          Sys.remove file))
+
+let test_stats_telemetry_fields () =
+  with_clean_registry (fun () ->
+      let t = Daemon.create () in
+      ignore (run_one t {|{"verb":"submit","gen_seed":7}|});
+      let st = ok_json (line_of (Daemon.handle_line t {|{"verb":"stats"}|})) in
+      let p50 = jnum st "latency_p50_ms" in
+      let p99 = jnum st "latency_p99_ms" in
+      Alcotest.(check bool) "latency quantiles populated and ordered" true
+        (p50 >= 0. && p99 >= p50);
+      Alcotest.(check int) "trace_files" 0 (jint st "trace_files");
+      Alcotest.(check int) "flight_dumps" 0 (jint st "flight_dumps"))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "serve"
@@ -462,5 +655,18 @@ let () =
             test_store_stale_stamp_invalidation;
           Alcotest.test_case "corrupt and missing" `Quick
             test_store_corrupt_and_missing;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "metrics verb roundtrip" `Quick
+            test_metrics_verb_roundtrip;
+          Alcotest.test_case "request trace + bit-equal" `Quick
+            test_trace_request_and_bit_equal;
+          Alcotest.test_case "flight dump on crash" `Quick
+            test_flight_dump_on_crash;
+          Alcotest.test_case "flight dump on slow-ms" `Quick
+            test_flight_dump_on_slow;
+          Alcotest.test_case "stats telemetry fields" `Quick
+            test_stats_telemetry_fields;
         ] );
     ]
