@@ -77,8 +77,10 @@ let stamp_fields =
   lazy
     [
       ( "config_hash",
+        (* [Dspfabric.id], not [name]: the name elides fan-outs and
+           port counts, so two different machines could stamp alike. *)
         jstr_of
-          (Hca_util.Stamp.hash (Config.default, Dspfabric.name reference)) );
+          (Hca_util.Stamp.hash (Config.default, Dspfabric.id reference)) );
       ("git", jstr_of (Hca_util.Stamp.git_describe ()));
     ]
 

@@ -28,6 +28,12 @@
    default gate stays machine-independent; CI pins them only on the
    kernels whose hot-path performance is a tracked deliverable.
 
+   Each repeatable [--require-rows exp=N] flag gates the CURRENT run's
+   coverage: the file must hold exactly N rows of that experiment.  A
+   sweep that silently dropped points (or double-counted them) fails
+   even though every row it did emit is individually clean — this is
+   how the dse-smoke gate pins the size of the swept design space.
+
    Each repeatable [--overhead-budget exp/kernel=factor] flag instead
    gates the RATIO of the current row's "runtime_s" to the baseline's:
    current must be <= factor * baseline.  Since both runs come from the
@@ -132,8 +138,8 @@ let load path =
 let usage () =
   prerr_endline
     "usage: bench_guard [--runtime-budget EXP/KERNEL=SECONDS]... \
-     [--overhead-budget EXP/KERNEL=FACTOR]... [--gate-optgap] \
-     BASELINE.json CURRENT.json";
+     [--overhead-budget EXP/KERNEL=FACTOR]... [--require-rows EXP=N]... \
+     [--gate-optgap] BASELINE.json CURRENT.json";
   exit 2
 
 (* "exp/kernel=seconds" -> ((exp, kernel), seconds) *)
@@ -152,9 +158,21 @@ let parse_budget spec =
           if exp = "" || kernel = "" then None else Some ((exp, kernel), s)
       | _ -> None)
 
+(* "exp=N" -> (exp, N) *)
+let parse_row_count spec =
+  match String.index_opt spec '=' with
+  | None -> None
+  | Some eq -> (
+      let exp = String.sub spec 0 eq in
+      let count = String.sub spec (eq + 1) (String.length spec - eq - 1) in
+      match int_of_string_opt count with
+      | Some n when exp <> "" && n >= 0 -> Some (exp, n)
+      | _ -> None)
+
 let () =
   let budgets = ref [] in
   let overheads = ref [] in
+  let row_counts = ref [] in
   let paths = ref [] in
   let gate_optgap = ref false in
   let rec parse_args = function
@@ -181,6 +199,16 @@ let () =
               spec;
             exit 2)
     | [ "--overhead-budget" ] -> usage ()
+    | "--require-rows" :: spec :: rest -> (
+        match parse_row_count spec with
+        | Some rc ->
+            row_counts := rc :: !row_counts;
+            parse_args rest
+        | None ->
+            Printf.eprintf
+              "bench_guard: bad --require-rows %S (want exp=N)\n" spec;
+            exit 2)
+    | [ "--require-rows" ] -> usage ()
     | "--gate-optgap" :: rest ->
         gate_optgap := true;
         parse_args rest
@@ -191,6 +219,7 @@ let () =
   parse_args (List.tl (Array.to_list Sys.argv));
   let budgets = List.rev !budgets in
   let overheads = List.rev !overheads in
+  let row_counts = List.rev !row_counts in
   match List.rev !paths with
   | [ baseline_path; current_path ] -> (
       match (load baseline_path, load current_path) with
@@ -349,6 +378,26 @@ let () =
                       Printf.printf "  %s/%s runtime_s %.3f within budget %.3f\n"
                         exp kernel t budget_s))
             budgets;
+          (* Coverage gate: the current run must hold exactly the
+             declared number of rows per experiment — a sweep that
+             dropped points emits only clean rows, so nothing else
+             would notice. *)
+          List.iter
+            (fun (exp, want) ->
+              let key = Printf.sprintf "%S" exp in
+              let got =
+                List.length (List.filter (fun ((e, _), _) -> e = key) current)
+              in
+              if got <> want then begin
+                incr regressions;
+                Printf.printf
+                  "REGRESSION %s: expected %d row(s) in the current run, got \
+                   %d\n"
+                  exp want got
+              end
+              else
+                Printf.printf "  %s row count %d as required\n" exp got)
+            row_counts;
           (* Ratio gate: current runtime_s <= factor * baseline
              runtime_s for the same (experiment, kernel) row.  Both
              runs come from this invocation's two input files, so the

@@ -5,6 +5,7 @@
      run    <kernel>   full HCA pass on a DSPFabric instance
      exact  <kernel>   SAT-based exact cluster-assignment oracle
      table1            reproduce Table 1 of the paper
+     dse               design-space sweep over machine descriptions
      dot    <kernel>   DOT dump (optionally clustered by assignment)
      serve             compile daemon (socket/stdio, persistent memo store)
      loadtest          replay generator traffic against a running daemon
@@ -35,6 +36,17 @@ let kernel_arg =
     & pos 0 (some kernel_conv) None
     & info [] ~docv:"KERNEL" ~doc:"Kernel name (see $(b,hca list)).")
 
+(* Parses a [.machine] file into (path, description) at option-parsing
+   time, so a bad file is a usage error, not a mid-run crash. *)
+let machine_file_conv =
+  let parse s =
+    match Hca_machine.Machine_io.read_file s with
+    | Ok m -> Ok (s, m)
+    | Error e -> Error (`Msg (Printf.sprintf "%s: %s" s e))
+  in
+  let print ppf (path, _) = Format.pp_print_string ppf path in
+  Arg.conv (parse, print)
+
 let fabric_term =
   let n =
     Arg.(value & opt int 8 & info [ "n" ] ~docv:"N" ~doc:"Level-0 MUX capacity.")
@@ -46,8 +58,22 @@ let fabric_term =
     Arg.(
       value & opt int 8 & info [ "k" ] ~docv:"K" ~doc:"Leaf crossbar capacity.")
   in
-  let make n m k = Dspfabric.make ~n ~m ~k () in
-  Term.(const make $ n $ m $ k)
+  let machine =
+    Arg.(
+      value
+      & opt (some machine_file_conv) None
+      & info [ "machine" ]
+          ~docv:"FILE"
+          ~doc:
+            "Load the machine from a .machine description $(docv) (see \
+             $(b,hca dse)); overrides $(b,--n)/$(b,--m)/$(b,--k).")
+  in
+  let make machine n m k =
+    match machine with
+    | Some (_, desc) -> desc
+    | None -> Dspfabric.make ~n ~m ~k ()
+  in
+  Term.(const make $ machine $ n $ m $ k)
 
 let config_term =
   let beam =
@@ -303,6 +329,174 @@ let table1_cmd =
   Cmd.v (Cmd.info "table1" ~doc:"Reproduce Table 1 of the paper")
     Term.(const run $ fabric_term $ config_term)
 
+(* hca dse: enumerate/sample machine points, evaluate every (machine x
+   kernel) pair on the domain pool, and report the Pareto front over
+   (suite MII, machine wire cost, CN count).  The NDJSON is a pure
+   function of the sweep spec, so CI can diff it against a committed
+   baseline at any --jobs. *)
+let dse_cmd =
+  let fanout_shapes_conv =
+    let parse s =
+      let shape_of t =
+        let parts = String.split_on_char 'x' t in
+        let dims = List.filter_map int_of_string_opt parts in
+        if List.length dims = List.length parts && dims <> [] then
+          Ok (Array.of_list dims)
+        else Error (`Msg (Printf.sprintf "bad fan-out shape %S (want e.g. 4x4)" t))
+      in
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | t :: tl -> (
+            match shape_of t with
+            | Ok shape -> go (shape :: acc) tl
+            | Error _ as e -> e)
+      in
+      go [] (String.split_on_char ',' s)
+    in
+    let print ppf shapes =
+      Format.pp_print_string ppf
+        (String.concat ","
+           (List.map
+              (fun a ->
+                String.concat "x"
+                  (Array.to_list (Array.map string_of_int a)))
+              shapes))
+    in
+    Arg.conv (parse, print)
+  in
+  let machines =
+    Arg.(
+      value
+      & opt_all machine_file_conv []
+      & info [ "machine" ] ~docv:"FILE"
+          ~doc:"Explicit sweep point from a .machine $(docv) (repeatable).")
+  in
+  let grid_fanouts =
+    Arg.(
+      value
+      & opt fanout_shapes_conv []
+      & info [ "grid-fanouts" ] ~docv:"SHAPES"
+          ~doc:
+            "Comma-separated hierarchy shapes for the grid, e.g. \
+             $(b,4x4x4,2x2).")
+  in
+  let grid_caps =
+    Arg.(
+      value & opt (list int) []
+      & info [ "grid-caps" ] ~docv:"CAPS"
+          ~doc:"MUX capacities for the grid (each $(i,c) is N=M=K=c).")
+  in
+  let grid_dma =
+    Arg.(
+      value & opt (list int) [ 8 ]
+      & info [ "grid-dma" ] ~docv:"PORTS" ~doc:"DMA port counts for the grid.")
+  in
+  let random =
+    Arg.(
+      value & opt int 0
+      & info [ "random" ] ~docv:"N"
+          ~doc:"Sample $(docv) additional points with the seeded generator.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"S" ~doc:"First seed of the random points.")
+  in
+  let hetero =
+    Arg.(
+      value & opt float 0.
+      & info [ "hetero" ] ~docv:"P"
+          ~doc:
+            "Probability of a heterogeneous resource table per CN in the \
+             random points.")
+  in
+  let kernels =
+    Arg.(
+      value
+      & opt (list kernel_conv) Registry.all
+      & info [ "kernels" ] ~docv:"NAMES"
+          ~doc:"Kernel suite to score against (default: the paper kernels).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the NDJSON rows to $(docv).")
+  in
+  let timing =
+    Arg.(
+      value & flag
+      & info [ "timing" ]
+          ~doc:
+            "Append a dse_meta/sweep row with the wall clock to the NDJSON \
+             (off by default: without it the output is byte-identical at \
+             any --jobs).")
+  in
+  let run machines grid_fanouts grid_caps grid_dma random seed hetero kernels
+      config jobs out timing =
+    let t0 = Hca_util.Clock.now () in
+    let explicit = Hca_gen.Dse.machine_points machines in
+    let grid =
+      if grid_fanouts = [] || grid_caps = [] then []
+      else
+        Hca_gen.Dse.grid_points ~dma:grid_dma ~fanouts:grid_fanouts
+          ~caps:grid_caps ()
+    in
+    let sampled =
+      if random <= 0 then []
+      else Hca_gen.Dse.random_points ~hetero ~count:random ~seed ()
+    in
+    let points =
+      match explicit @ grid @ sampled with
+      | [] ->
+          (* The stock 8-point space: every shape the fuzzer draws, at
+             starved and paper capacities. *)
+          Hca_gen.Dse.grid_points ~dma:grid_dma
+            ~fanouts:[ [| 4; 4; 4 |]; [| 4; 4 |]; [| 2; 2; 2 |]; [| 4; 2 |] ]
+            ~caps:[ 4; 8 ] ()
+      | pts -> pts
+    in
+    let kernels = List.map (fun (name, f) -> (name, f ())) kernels in
+    let result = Hca_gen.Dse.run ~config ~jobs ~kernels points in
+    print_string (Hca_gen.Dse.ranked_table result);
+    Format.printf "@.Pareto front (MII x wires x CNs):@.";
+    List.iter
+      (fun (s : Hca_gen.Dse.summary) ->
+        Format.printf "  %s  score=%d wires=%d cns=%d (%s)@." s.point
+          (Option.get s.score) s.machine_wires s.cns s.machine)
+      result.Hca_gen.Dse.front;
+    if result.Hca_gen.Dse.front = [] then
+      Format.printf "  (no point mapped the whole suite)@.";
+    (match out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Hca_gen.Dse.to_ndjson result);
+        if timing then
+          output_string oc
+            (Printf.sprintf
+               "{\"experiment\":\"dse_meta\",\"kernel\":\"sweep\",\"points\":%d,\
+                \"kernels\":%d,\"rows\":%d,\"runtime_s\":%.3f}\n"
+               (List.length points) (List.length kernels)
+               (List.length result.Hca_gen.Dse.evals)
+               (Hca_util.Clock.now () -. t0));
+        close_out oc;
+        Printf.printf "rows written to %s\n" path);
+    match Hca_gen.Dse.check result with
+    | Ok () -> ()
+    | Error e ->
+        Printf.eprintf "dse: self-check failed: %s\n" e;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "dse"
+       ~doc:
+         "Design-space sweep: score machine descriptions across a kernel \
+          suite and report the Pareto front")
+    Term.(
+      const run $ machines $ grid_fanouts $ grid_caps $ grid_dma $ random
+      $ seed $ hetero $ kernels $ config_term $ jobs_term $ out $ timing)
+
 let dot_cmd =
   let run (name, f) fabric assigned =
     ignore name;
@@ -384,8 +578,7 @@ let level0_cmd =
     let view = Dspfabric.level_view fabric ~level:0 in
     let pg =
       Hca_machine.Pattern_graph.complete ~name:"level0"
-        ~capacities:
-          (Array.make view.Dspfabric.children view.Dspfabric.capacity_per_child)
+        ~capacities:(Dspfabric.child_capacities fabric ~path:[])
         ~max_in:view.Dspfabric.mux_capacity
     in
     let problem = Problem.of_ddg ~name:"level0" ~ddg ~pg () in
@@ -1101,4 +1294,4 @@ let () =
     Cmd.info "hca" ~version:"1.0.0"
       ~doc:"Hierarchical Cluster Assignment for DSPFabric (IPPS 2007 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ stats_cmd; run_cmd; profile_cmd; tracecheck_cmd; exact_cmd; table1_cmd; dot_cmd; explain_cmd; level0_cmd; topology_cmd; sched_cmd; simulate_cmd; portfolio_cmd; rcp_cmd; fuzz_cmd; serve_cmd; loadtest_cmd; top_cmd; list_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ stats_cmd; run_cmd; profile_cmd; tracecheck_cmd; exact_cmd; table1_cmd; dse_cmd; dot_cmd; explain_cmd; level0_cmd; topology_cmd; sched_cmd; simulate_cmd; portfolio_cmd; rcp_cmd; fuzz_cmd; serve_cmd; loadtest_cmd; top_cmd; list_cmd ]))

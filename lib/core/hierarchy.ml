@@ -219,6 +219,10 @@ let solve ?(config = Config.default) ?target_ii ?cache ?stats fabric ddg ~ii =
         (fun () -> compute_sub_body ~level ~path ~ws ~ili)
   and compute_sub_body ~level ~path ~ws ~ili =
     let view = Dspfabric.level_view fabric ~level in
+    (* Per-child resource tables at this node: uniform machines get the
+       same [cns_per_child * Resource.cn] in every slot; heterogeneous
+       descriptions differ per child. *)
+    let child_caps = Dspfabric.child_capacities fabric ~path in
     let name = path_name path in
     (* Every wire into a child burns one of the child's own input
        slots at the next level down, so stay well under the MUX
@@ -228,10 +232,7 @@ let solve ?(config = Config.default) ?target_ii ?cache ?stats fabric ddg ~ii =
       else min view.Dspfabric.mux_capacity config.Config.leaf_feed_fanin_cap
     in
     let pg_base =
-      Pattern_graph.complete ~name
-        ~capacities:
-          (Array.make view.Dspfabric.children view.Dspfabric.capacity_per_child)
-        ~max_in
+      Pattern_graph.complete ~name ~capacities:child_caps ~max_in
     in
     let pg =
       Pattern_graph.with_ports pg_base ~inputs:ili.Ili.inputs
@@ -276,12 +277,11 @@ let solve ?(config = Config.default) ?target_ii ?cache ?stats fabric ddg ~ii =
       if view.Dspfabric.is_leaf then ii
       else begin
         let demand = Resource.demand ddg ws in
-        let child_cap = view.Dspfabric.capacity_per_child in
+        let capacity =
+          Array.fold_left Resource.add Resource.zero child_caps
+        in
         let floor_ii =
-          (Resource.min_ii ~demand
-             ~capacity:(Resource.scale view.Dspfabric.children child_cap)
-          + 1)
-          |> min ii
+          (Resource.min_ii ~demand ~capacity + 1) |> min ii
         in
         max floor_ii (ii * 4 / 5)
       end

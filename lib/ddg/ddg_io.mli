@@ -14,6 +14,13 @@
     and an empty name prints as the marker ["\-"].  Files written
     before the escaping (no backslashes) parse unchanged. *)
 
+val escape_name : string -> string
+(** The escaping above, reusable by the other line-oriented formats
+    ([.machine] files escape names the same way). *)
+
+val unescape_name : string -> string
+(** Left inverse of {!escape_name}; identity on backslash-free text. *)
+
 val to_string : Ddg.t -> string
 
 val of_string : string -> (Ddg.t, string) result

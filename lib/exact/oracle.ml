@@ -38,7 +38,9 @@ let problem_of fabric ddg =
   let pg =
     Pattern_graph.complete
       ~name:(Printf.sprintf "exact-K%d" cns)
-      ~capacities:(Array.make cns Resource.cn)
+      (* One PG node per CN, each with that CN's own table, so the
+         encoding covers heterogeneous descriptions too. *)
+      ~capacities:(Array.init cns (Machine_desc.cn_table fabric))
       ~max_in:leaf.Dspfabric.mux_capacity
   in
   Problem.of_ddg ~name:(Ddg.name ddg ^ ".exact") ~ddg ~pg ()

@@ -147,13 +147,15 @@ let ddg ?(knobs = default_ddg_knobs) ~seed () =
   done;
   Ddg.Builder.freeze b
 
-let fabric ?(knobs = default_machine_knobs) ~seed () =
+let desc ?(knobs = default_machine_knobs) ?(hetero = 0.) ~seed () =
   if Array.length knobs.fanout_choices = 0 then
     invalid_arg "Gen.fabric: empty fanout_choices";
   if knobs.min_cap < 1 || knobs.max_cap < knobs.min_cap then
     invalid_arg "Gen.fabric: need 1 <= min_cap <= max_cap";
   if knobs.min_dma < 1 || knobs.max_dma < knobs.min_dma then
     invalid_arg "Gen.fabric: need 1 <= min_dma <= max_dma";
+  if hetero < 0. || hetero > 1. then
+    invalid_arg "Gen.desc: hetero must be in [0, 1]";
   let rng = fabric_stream seed in
   let cap () =
     knobs.min_cap + Hca_util.Prng.int rng (knobs.max_cap - knobs.min_cap + 1)
@@ -163,7 +165,32 @@ let fabric ?(knobs = default_machine_knobs) ~seed () =
   let dma =
     knobs.min_dma + Hca_util.Prng.int rng (knobs.max_dma - knobs.min_dma + 1)
   in
-  Dspfabric.make ~fanouts ~dma_ports:dma ~n ~m ~k ()
+  let base = Dspfabric.make ~fanouts ~dma_ports:dma ~n ~m ~k () in
+  if hetero <= 0. then base
+  else begin
+    (* Continued output of the fabric stream: the tables are a pure
+       function of (knobs, hetero, seed), and [hetero = 0] never draws,
+       so the homogeneous path is bit-identical to the old [fabric]. *)
+    let deviant = ref false in
+    let tables =
+      Array.init (Dspfabric.total_cns base) (fun _ ->
+          if Hca_util.Prng.float rng 1.0 >= hetero then Resource.cn
+          else begin
+            deviant := true;
+            match Hca_util.Prng.int rng 3 with
+            | 0 -> { Resource.alus = 2; ags = 1 } (* ALU/MUL-heavy *)
+            | 1 -> { Resource.alus = 1; ags = 0 } (* pure compute *)
+            | _ -> { Resource.alus = 1; ags = 2 } (* memory-heavy *)
+          end)
+    in
+    if not !deviant then base
+    else
+      Machine_desc.with_tables
+        ~name:(Machine_desc.name base ^ "+het")
+        base tables
+  end
+
+let fabric ?knobs ~seed () = desc ?knobs ~hetero:0. ~seed ()
 
 let instance ?ddg_knobs ?machine_knobs ~seed () =
   { seed; ddg = ddg ?knobs:ddg_knobs ~seed (); fabric = fabric ?knobs:machine_knobs ~seed () }

@@ -60,6 +60,23 @@ val fabric : ?knobs:machine_knobs -> seed:int -> unit -> Dspfabric.t
     sub-stream of the same seed, so kernel and machine shapes do not
     correlate. *)
 
+val desc :
+  ?knobs:machine_knobs ->
+  ?hetero:float ->
+  seed:int ->
+  unit ->
+  Machine_desc.t
+(** The machine generator behind [hca dse --random]: {!fabric}'s draws
+    (same sub-stream — [desc ~hetero:0. ~seed] {e is} [fabric ~seed]),
+    then, with probability [hetero] (default 0) per CN, a heterogeneous
+    resource table drawn from continued output of the same stream:
+    ALU/MUL-heavy ([2a 1g]), pure-compute ([1a 0g]) or memory-heavy
+    ([1a 2g]) CNs.  A non-uniform draw renames the description
+    ([name ^ "+het"]) so rows stay tellable apart; {!Machine_desc.id}
+    separates them regardless.
+    @raise Invalid_argument on nonsense knobs or [hetero] outside
+    [0, 1]. *)
+
 val instance :
   ?ddg_knobs:ddg_knobs -> ?machine_knobs:machine_knobs -> seed:int -> unit ->
   instance

@@ -1,9 +1,4 @@
-type t = {
-  fanouts : int array;
-  mux_caps : int array;  (* per level: N, M, ..., K *)
-  cn_in_wires : int;
-  dma_ports : int;
-}
+type t = Machine_desc.t
 
 let make ?(fanouts = [| 4; 4; 4 |]) ?(cn_in_wires = 2) ?(dma_ports = 8) ~n ~m
     ~k () =
@@ -19,75 +14,50 @@ let make ?(fanouts = [| 4; 4; 4 |]) ?(cn_in_wires = 2) ?(dma_ports = 8) ~n ~m
   let depth = Array.length fanouts in
   (* N applies at level 0, K at the leaf crossbar, M at every level in
      between (the reference machine has exactly one such level). *)
-  let mux_caps =
+  let levels =
     Array.init depth (fun lvl ->
-        if lvl = 0 then n else if lvl = depth - 1 then k else m)
+        {
+          Machine_desc.fanout = fanouts.(lvl);
+          mux_cap = (if lvl = 0 then n else if lvl = depth - 1 then k else m);
+        })
   in
-  { fanouts; mux_caps; cn_in_wires; dma_ports }
+  let total = Array.fold_left ( * ) 1 fanouts in
+  Machine_desc.make
+    ~name:(Printf.sprintf "dspfabric-%d(N=%d,M=%d,K=%d)" total n m k)
+    ~levels ~cn_in_wires ~dma_ports ()
 
 let reference = make ~n:8 ~m:8 ~k:8 ()
 
-let total_cns t = Array.fold_left ( * ) 1 t.fanouts
+let total_cns = Machine_desc.total_cns
 
-let depth t = Array.length t.fanouts
+let depth = Machine_desc.depth
 
-let n t = t.mux_caps.(0)
+let n t = (Machine_desc.levels t).(0).Machine_desc.mux_cap
 
-let m t = t.mux_caps.(min 1 (depth t - 1))
+let m t = (Machine_desc.levels t).(min 1 (depth t - 1)).Machine_desc.mux_cap
 
-let k t = t.mux_caps.(depth t - 1)
+let k t = (Machine_desc.levels t).(depth t - 1).Machine_desc.mux_cap
 
-let dma_ports t = t.dma_ports
+let dma_ports = Machine_desc.dma_ports
 
-let name t =
-  Printf.sprintf "dspfabric-%d(N=%d,M=%d,K=%d)" (total_cns t) (n t) (m t) (k t)
+let name = Machine_desc.name
 
-let id t =
-  Printf.sprintf "dspfabric[%s;mux=%s;cn_in=%d;dma=%d]"
-    (String.concat "x" (Array.to_list (Array.map string_of_int t.fanouts)))
-    (String.concat "," (Array.to_list (Array.map string_of_int t.mux_caps)))
-    t.cn_in_wires t.dma_ports
+let id = Machine_desc.id
 
-type level_view = {
+type level_view = Machine_desc.level_view = {
   level : int;
   children : int;
   cns_per_child : int;
-  capacity_per_child : Resource.t;
   mux_capacity : int;
   out_capacity : int;
   max_in_ports : int;
   is_leaf : bool;
 }
 
-let level_view t ~level =
-  if level < 0 || level >= depth t then
-    invalid_arg "Dspfabric.level_view: level out of range";
-  let is_leaf = level = depth t - 1 in
-  let cns_per_child = ref 1 in
-  for l = level + 1 to depth t - 1 do
-    cns_per_child := !cns_per_child * t.fanouts.(l)
-  done;
-  {
-    level;
-    children = t.fanouts.(level);
-    cns_per_child = !cns_per_child;
-    capacity_per_child = Resource.scale !cns_per_child Resource.cn;
-    mux_capacity = (if is_leaf then t.cn_in_wires else t.mux_caps.(level));
-    out_capacity = (if is_leaf then 1 else t.mux_caps.(level));
-    max_in_ports = (if is_leaf then t.mux_caps.(level) else max_int);
-    is_leaf;
-  }
+let level_view = Machine_desc.level_view
 
-let resources t =
-  let cns = total_cns t in
-  {
-    Hca_ddg.Mii.alu_slots = cns;
-    ag_slots = cns;
-    issue_slots = cns;
-    dma_ports = t.dma_ports;
-  }
+let child_capacities = Machine_desc.child_capacities
 
-let pp ppf t =
-  Format.fprintf ppf "%s: %d levels, fan-outs [%s], dma=%d" (name t) (depth t)
-    (String.concat ";" (Array.to_list (Array.map string_of_int t.fanouts)))
-    t.dma_ports
+let resources = Machine_desc.resources
+
+let pp = Machine_desc.pp

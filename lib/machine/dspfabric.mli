@@ -1,4 +1,5 @@
-(** Parametric model of the DSPFabric coprocessor (§2.2).
+(** Parametric model of the DSPFabric coprocessor (§2.2), re-expressed
+    as one {!Machine_desc} description.
 
     The reference instance (Fig. 2) has 64 computation nodes arranged in
     three levels of fan-out 4: level 0 is an array of four 16-issue
@@ -12,9 +13,14 @@
 
     The DMA serves at most [dma_ports] simultaneous requests (paper:
     "e.g. 8 requests"), which bounds the resource MII of memory-heavy
-    kernels. *)
+    kernels.
 
-type t
+    [t] {e is} [Machine_desc.t]: every query below also works on
+    descriptions parsed from [.machine] files or sampled by the DSE
+    generator, and everything downstream of {!Hca_core.Hierarchy} takes
+    either interchangeably. *)
+
+type t = Machine_desc.t
 
 val make :
   ?fanouts:int array ->
@@ -37,10 +43,11 @@ val name : t -> string
 (** E.g. ["dspfabric-64(N=8,M=8,K=8)"]. *)
 
 val id : t -> string
-(** Total identity: two fabrics share an [id] iff {!make} received the
-    same parameters — unlike {!name}, which elides the fan-outs, the
-    per-CN wire count and the DMA ports.  Used wherever a fabric keys a
-    cache that outlives a single run. *)
+(** Total identity ({!Machine_desc.id}): two fabrics share an [id] iff
+    they are equal descriptions — unlike {!name}, which for
+    {!make}-built fabrics elides the fan-outs, the per-CN wire count
+    and the DMA ports.  Used wherever a fabric keys a cache that
+    outlives a single run. *)
 
 val depth : t -> int
 (** Number of hierarchy levels (3 for the reference instance). *)
@@ -55,13 +62,13 @@ val k : t -> int
 
 val dma_ports : t -> int
 
-(** Everything the per-level cluster-assignment subproblem needs to know
-    about its level of the hierarchy. *)
-type level_view = {
+(** Re-export of {!Machine_desc.level_view}: everything the per-level
+    cluster-assignment subproblem needs to know about its level of the
+    hierarchy. *)
+type level_view = Machine_desc.level_view = {
   level : int;
   children : int;  (** PG regular nodes at this level *)
   cns_per_child : int;
-  capacity_per_child : Resource.t;
   mux_capacity : int;
       (** bound on distinct real in-neighbours per PG node; at the leaf
           this is the per-CN incoming-wire count (2) *)
@@ -76,6 +83,11 @@ type level_view = {
 
 val level_view : t -> level:int -> level_view
 (** @raise Invalid_argument if [level] is out of range. *)
+
+val child_capacities : t -> path:int list -> Resource.t array
+(** {!Machine_desc.child_capacities}: per-child resource tables of the
+    cluster at [path] — uniform [cns_per_child * Resource.cn] entries on
+    {!make}-built fabrics. *)
 
 val resources : t -> Hca_ddg.Mii.resources
 (** Whole-machine capacities for the level-0 / unified MIIRes. *)

@@ -422,14 +422,17 @@ let handle_submit t (s : Protocol.submit) =
         Line (Protocol.error_response e)
     | Ok ddg -> (
         match
-          match s.machine with
-          | None -> Dspfabric.reference
-          | Some (n, m, k) -> Dspfabric.make ~n ~m ~k ()
+          match (s.machine, s.machine_desc) with
+          | None, None -> Ok Dspfabric.reference
+          | Some (n, m, k), _ -> (
+              try Ok (Dspfabric.make ~n ~m ~k ())
+              with Invalid_argument e -> Error e)
+          | None, Some text -> Hca_machine.Machine_io.of_string text
         with
-        | exception Invalid_argument e ->
+        | Error e ->
             Log.warn "submit.reject" [ ("error", Log.S ("bad machine: " ^ e)) ];
             Line (Protocol.error_response ("bad machine: " ^ e))
-        | fabric ->
+        | Ok fabric ->
             let config = config_of s in
             let memo = s.memo in
             let cache = if memo then Some t.cache else None in

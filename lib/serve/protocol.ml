@@ -6,6 +6,7 @@ type source =
 type submit = {
   source : source;
   machine : (int * int * int) option;
+  machine_desc : string option;
   beam : int option;
   candidates : int option;
   spread : bool option;
@@ -65,9 +66,24 @@ let machine_of j =
           Ok (Some (n, mm, k))
       | _ -> Error "\"machine\" must be {\"n\":int,\"m\":int,\"k\":int} > 0")
 
+let machine_desc_of j =
+  match Json.member "machine_desc" j with
+  | None -> Ok None
+  | Some v -> (
+      match Json.str v with
+      | Some text -> Ok (Some text)
+      | None -> Error "\"machine_desc\" must be a string (.machine text)")
+
 let submit_of j =
   let* source = source_of j in
   let* machine = machine_of j in
+  let* machine_desc = machine_desc_of j in
+  let* () =
+    match (machine, machine_desc) with
+    | Some _, Some _ ->
+        Error "submit takes at most one of \"machine\" and \"machine_desc\""
+    | _ -> Ok ()
+  in
   let config = Option.value ~default:(Json.Obj []) (Json.member "config" j) in
   let* deadline_s =
     match Json.member "deadline_s" j with
@@ -82,6 +98,7 @@ let submit_of j =
        {
          source;
          machine;
+         machine_desc;
          beam = field_int config "beam";
          candidates = field_int config "candidates";
          spread = field_bool config "spread";

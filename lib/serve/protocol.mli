@@ -21,7 +21,14 @@
     as a JSON string), or ["gen_seed"] (+ optional ["gen_max_size"]) —
     the seeded {!Hca_gen.Gen} generator, which is what the load-test
     client replays.  Everything but the verb and the source is
-    optional.  ["trace":true] asks the daemon for a per-request Chrome
+    optional.  The machine is exactly one of ["machine"] (the
+    [{"n":..,"m":..,"k":..}] MUX capacities of the reference-shaped
+    fabric) or ["machine_desc"] (a full machine description in the
+    {!Hca_machine.Machine_io} text format, inline as one JSON string —
+    the path to arbitrary topologies and heterogeneous resource
+    tables); giving both is rejected at parse time, and neither means
+    the daemon's reference fabric.  ["trace":true] asks the daemon for
+    a per-request Chrome
     trace of this submission (written server-side under its trace
     directory as [req-<id>.json]); tracing never changes any result
     field.
@@ -82,6 +89,9 @@ type source =
 type submit = {
   source : source;
   machine : (int * int * int) option;  (** (N, M, K) MUX capacities *)
+  machine_desc : string option;
+      (** inline {!Hca_machine.Machine_io} text; exclusive with
+          [machine] *)
   beam : int option;
   candidates : int option;
   spread : bool option;

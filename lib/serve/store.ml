@@ -1,6 +1,10 @@
 let magic = "HCA-MEMO-STORE"
 
-let format_version = "v1"
+(* v2: cache keys switched from the dspfabric-only [Dspfabric.id] to
+   the total [Machine_desc.id] (fan-outs, wiring and heterogeneous
+   tables included), so stores written by v1 builds must not be
+   reused. *)
+let format_version = "v2"
 
 let default_stamp () = Hca_util.Stamp.store_stamp ~extra:format_version ()
 

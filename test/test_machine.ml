@@ -180,14 +180,15 @@ let test_fabric_level_views () =
   Alcotest.(check int) "leaf out wires" 1 v2.Dspfabric.out_capacity;
   Alcotest.(check int) "leaf K" 8 v2.Dspfabric.max_in_ports;
   Alcotest.(check bool) "leaf capacity is one CN" true
-    (Resource.equal Resource.cn v2.Dspfabric.capacity_per_child)
+    (Array.for_all (Resource.equal Resource.cn)
+       (Dspfabric.child_capacities f ~path:[ 0; 0 ]))
 
 let test_fabric_validation () =
   Alcotest.check_raises "bad N"
     (Invalid_argument "Dspfabric.make: MUX capacities must be positive")
     (fun () -> ignore (Dspfabric.make ~n:0 ~m:1 ~k:1 ()));
   Alcotest.check_raises "bad level"
-    (Invalid_argument "Dspfabric.level_view: level out of range") (fun () ->
+    (Invalid_argument "Machine_desc.level_view: level out of range") (fun () ->
       ignore (Dspfabric.level_view Dspfabric.reference ~level:3))
 
 let test_fabric_resources () =

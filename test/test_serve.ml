@@ -100,6 +100,23 @@ let test_protocol_submit () =
   | Ok _ -> Alcotest.fail "not a submit"
   | Error e -> Alcotest.fail e
 
+let test_protocol_submit_machine_desc () =
+  match
+    Protocol.request_of_line
+      {|{"verb":"submit","kernel":"fir2dim","machine_desc":"machine tiny\nlevel 2 4\nlevel 2 2\ncn_in_wires 2\ndma_ports 4\n"}|}
+  with
+  | Ok (Protocol.Submit s) ->
+      Alcotest.(check (option (triple int int int)))
+        "no shorthand machine" None s.Protocol.machine;
+      let text = Option.get s.Protocol.machine_desc in
+      (match Hca_machine.Machine_io.of_string text with
+      | Ok m ->
+          Alcotest.(check string) "name" "tiny" (Hca_machine.Machine_desc.name m);
+          Alcotest.(check int) "cns" 4 (Hca_machine.Machine_desc.total_cns m)
+      | Error e -> Alcotest.fail ("inline text should parse: " ^ e))
+  | Ok _ -> Alcotest.fail "not a submit"
+  | Error e -> Alcotest.fail e
+
 let test_protocol_rejects () =
   let expect_error line =
     match Protocol.request_of_line line with
@@ -115,7 +132,12 @@ let test_protocol_rejects () =
   expect_error {|{"verb":"submit"}|};
   expect_error {|{"verb":"submit","kernel":"a","gen_seed":1}|};
   expect_error {|{"verb":"submit","kernel":"a","deadline_s":-1}|};
-  expect_error {|{"verb":"submit","kernel":"a","machine":{"n":0,"m":8,"k":8}}|}
+  expect_error {|{"verb":"submit","kernel":"a","machine":{"n":0,"m":8,"k":8}}|};
+  (* machine and machine_desc are mutually exclusive; the latter must
+     be a string. *)
+  expect_error
+    {|{"verb":"submit","kernel":"a","machine":{"n":8,"m":8,"k":8},"machine_desc":"machine x\n"}|};
+  expect_error {|{"verb":"submit","kernel":"a","machine_desc":42}|}
 
 (* ------------------------------------------------------------------ *)
 (* Job queue                                                           *)
@@ -352,6 +374,34 @@ let run_one t line =
   let id = jint j "id" in
   ignore (Jobq.wait (Daemon.jobq t) id);
   ok_json (Daemon.result_line t id)
+
+let test_daemon_machine_desc () =
+  let t = Daemon.create () in
+  (* An inline [.machine] description carries the whole topology —
+     heterogeneous table included — through the wire protocol. *)
+  let r =
+    run_one t
+      {|{"verb":"submit","gen_seed":2,"machine_desc":"machine wide\nlevel 2 4\nlevel 2 4\ncn_in_wires 2\ndma_ports 4\ncn 0-1 2 1\n"}|}
+  in
+  Alcotest.(check string) "state" "done" (jstr r "state");
+  Alcotest.(check string) "runs on the inline machine" "wide"
+    (jstr r "machine");
+  (* A description that fails to parse is rejected with its position. *)
+  match
+    Daemon.handle_line t
+      {|{"verb":"submit","gen_seed":2,"machine_desc":"machine wide\nlevel 0 4\n"}|}
+  with
+  | Daemon.Line l ->
+      let e = err_json l in
+      let err = jstr e "error" in
+      let has_pos =
+        let sub = "line 2" in
+        let n = String.length err and k = String.length sub in
+        let rec go i = i + k <= n && (String.sub err i k = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "parse error carries its position" true has_pos
+  | _ -> Alcotest.fail "expected an immediate rejection"
 
 let test_store_warm_restart_bit_equal () =
   let path = tmp_store "warm" in
@@ -622,6 +672,8 @@ let () =
         [
           Alcotest.test_case "verbs" `Quick test_protocol_verbs;
           Alcotest.test_case "submit" `Quick test_protocol_submit;
+          Alcotest.test_case "submit machine_desc" `Quick
+            test_protocol_submit_machine_desc;
           Alcotest.test_case "rejects" `Quick test_protocol_rejects;
         ] );
       ( "jobq",
@@ -646,6 +698,8 @@ let () =
             test_daemon_deadline_expired_row;
           Alcotest.test_case "inline content naming" `Quick
             test_daemon_inline_content_named;
+          Alcotest.test_case "inline machine description" `Quick
+            test_daemon_machine_desc;
         ] );
       ( "store",
         [
